@@ -1,0 +1,233 @@
+package ulppip
+
+// One testing.B benchmark per table and figure of the paper's §VI, plus
+// the §VII ablations. The simulation is deterministic and the metric of
+// interest is *virtual* time, so each benchmark runs the full experiment
+// per iteration and reports the paper-relevant quantities as custom
+// metrics (virtual nanoseconds, slowdown ratios, overlap percentages).
+// Iterations are dominated by simulation work, so `go test -bench=.`
+// typically executes each experiment once.
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+)
+
+func init() {
+	bench.Runs = 1 // deterministic: repeats cannot change the minimum
+}
+
+// BenchmarkTable3_Primitives regenerates Table III (context switch and
+// TLS-load times) on both machines.
+func BenchmarkTable3_Primitives(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.Table3Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.Table3(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.CtxSwitch.Time.Nanoseconds(), "ctxsw-virt-ns")
+			b.ReportMetric(r.LoadTLS.Time.Nanoseconds(), "tlsload-virt-ns")
+		})
+	}
+}
+
+// BenchmarkTable4_Yield regenerates Table IV (ULP yield vs sched_yield).
+func BenchmarkTable4_Yield(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.Table4Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.Table4(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.ULPYield.Time.Nanoseconds(), "ulp-yield-virt-ns")
+			b.ReportMetric(r.SchedYield1Core.Time.Nanoseconds(), "yield-1core-virt-ns")
+			b.ReportMetric(r.SchedYield2Core.Time.Nanoseconds(), "yield-2core-virt-ns")
+		})
+	}
+}
+
+// BenchmarkTable5_Getpid regenerates Table V (getpid under
+// couple/decouple with both idle policies).
+func BenchmarkTable5_Getpid(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.Table5Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.Table5(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Linux.Time.Nanoseconds(), "linux-virt-ns")
+			b.ReportMetric(r.BusyWait.Time.Nanoseconds(), "busywait-virt-ns")
+			b.ReportMetric(r.Blocking.Time.Nanoseconds(), "blocking-virt-ns")
+		})
+	}
+}
+
+// BenchmarkFig7_Slowdown regenerates Figure 7 (open-write-close slowdown
+// vs AIO over write sizes). The reported metrics are the smallest-size
+// slowdowns — the regime where mechanism overhead dominates.
+func BenchmarkFig7_Slowdown(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.Fig7Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.Fig7(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Slowdown("ULP-BUSYWAIT")[0], "ulp-busywait-slowdown-min")
+			b.ReportMetric(r.Slowdown("ULP-BLOCKING")[0], "ulp-blocking-slowdown-min")
+			b.ReportMetric(r.Slowdown("AIO-return")[0], "aio-return-slowdown-min")
+			b.ReportMetric(r.Slowdown("AIO-suspend")[0], "aio-suspend-slowdown-min")
+		})
+	}
+}
+
+// BenchmarkFig8_Overlap regenerates Figure 8 (IMB overlap ratios). The
+// reported metrics are the per-mechanism overlap at the smallest write
+// size (the paper's floor claims: ULP >70%/80%, AIO <70%).
+func BenchmarkFig8_Overlap(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.Fig8Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.Fig8(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Overlap["ULP-BUSYWAIT"][0], "ulp-busywait-overlap-%")
+			b.ReportMetric(r.Overlap["ULP-BLOCKING"][0], "ulp-blocking-overlap-%")
+			b.ReportMetric(r.Overlap["AIO-return"][0], "aio-return-overlap-%")
+			b.ReportMetric(r.Overlap["AIO-suspend"][0], "aio-suspend-overlap-%")
+		})
+	}
+}
+
+// BenchmarkAblateIdlePolicy quantifies the §VII latency/power trade-off
+// between BUSYWAIT and BLOCKING.
+func BenchmarkAblateIdlePolicy(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r []bench.IdleAblationResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.AblateIdlePolicy(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r[0].GetpidLatency.Nanoseconds(), "busywait-latency-virt-ns")
+			b.ReportMetric(r[1].GetpidLatency.Nanoseconds(), "blocking-latency-virt-ns")
+			b.ReportMetric(r[0].SpunKC.Microseconds(), "busywait-kc-spun-virt-us")
+		})
+	}
+}
+
+// BenchmarkAblateTLS isolates the TLS-switch share of the ULP yield.
+func BenchmarkAblateTLS(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r bench.TLSAblationResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.AblateTLS(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.WithTLS.Nanoseconds(), "ulp-yield-virt-ns")
+			b.ReportMetric(r.NoTLS.Nanoseconds(), "ult-yield-virt-ns")
+		})
+	}
+}
+
+// BenchmarkFig6Scenario sweeps the Fig. 6 deployment (dedicated syscall
+// cores, over-subscription) and reports the best throughput found.
+func BenchmarkFig6Scenario(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var pts []bench.Fig6Point
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = bench.Fig6Scenario(m, []int{1, 2}, []int{0, 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			best := 0.0
+			for _, p := range pts {
+				if p.Throughput > best {
+					best = p.Throughput
+				}
+			}
+			b.ReportMetric(best, "best-ops/virt-ms")
+		})
+	}
+}
+
+// BenchmarkMPIOversubscription reports per-rank efficiency of the
+// §III-motivated MPI-over-ULP deployment at 8x oversubscription.
+func BenchmarkMPIOversubscription(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var pts []bench.MPIPoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = bench.MPIOversubscription(m, []int{2, 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pts[len(pts)-1].Efficiency, "efficiency-at-8x")
+		})
+	}
+}
+
+// BenchmarkHugePages reports the fault reduction of 2 MiB pages for a
+// 32 MiB first touch (§VII).
+func BenchmarkHugePages(b *testing.B) {
+	for _, m := range arch.Machines() {
+		m := m
+		b.Run(m.Name, func(b *testing.B) {
+			var r []bench.HugePageResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = bench.HugePages(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r[0].Faults), "4k-faults")
+			b.ReportMetric(float64(r[1].Faults), "huge-faults")
+			b.ReportMetric(r[0].TouchTime.Microseconds(), "4k-touch-virt-us")
+			b.ReportMetric(r[1].TouchTime.Microseconds(), "huge-touch-virt-us")
+		})
+	}
+}

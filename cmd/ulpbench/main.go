@@ -1,0 +1,183 @@
+// ulpbench regenerates every table and figure of the paper's evaluation
+// (§VI) plus the §VII ablations, on the simulated Wallaby (x86_64) and
+// Albireo (AArch64) machines.
+//
+// Usage:
+//
+//	ulpbench -exp all
+//	ulpbench -exp table5
+//	ulpbench -exp fig7 -csv out
+//	ulpbench -exp ablate-idle
+//
+// Experiments: table3, table4, table5, fig7, fig8 (the paper's §VI),
+// ablate-idle (A1), ablate-tls (A2), fig6-scenario (A5), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
+	runs := flag.Int("runs", 3, "repetitions per measurement (minimum is reported)")
+	csvPrefix := flag.String("csv", "", "also write figure data as <prefix>-<fig>-<machine>.csv")
+	reportPath := flag.String("report", "", "write a full markdown report to this file (runs everything)")
+	flag.Parse()
+	bench.Runs = *runs
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.Report(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("report written to", *reportPath)
+		return
+	}
+	if err := run(*exp, *csvPrefix); err != nil {
+		fmt.Fprintln(os.Stderr, "ulpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, csvPrefix string) error {
+	w := os.Stdout
+	all := exp == "all"
+	matched := false
+
+	if all || exp == "table3" {
+		matched = true
+		r, err := bench.MachineResults(bench.Table3)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable3(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "table4" {
+		matched = true
+		r, err := bench.MachineResults(bench.Table4)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable4(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "table5" {
+		matched = true
+		r, err := bench.MachineResults(bench.Table5)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable5(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig7" {
+		matched = true
+		r, err := bench.MachineResults(bench.Fig7)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"Wallaby", "Albireo"} {
+			bench.PrintFig7(w, r[name])
+			fmt.Fprintln(w)
+			if csvPrefix != "" {
+				if err := writeCSV(fmt.Sprintf("%s-fig7-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if all || exp == "fig8" {
+		matched = true
+		r, err := bench.MachineResults(bench.Fig8)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"Wallaby", "Albireo"} {
+			bench.PrintFig8(w, r[name])
+			fmt.Fprintln(w)
+			if csvPrefix != "" {
+				if err := writeCSV(fmt.Sprintf("%s-fig8-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if all || exp == "ablate-idle" {
+		matched = true
+		for _, m := range arch.Machines() {
+			r, err := bench.AblateIdlePolicy(m)
+			if err != nil {
+				return err
+			}
+			bench.PrintIdleAblation(w, r)
+			fmt.Fprintln(w)
+		}
+	}
+	if all || exp == "ablate-tls" {
+		matched = true
+		r, err := bench.MachineResults(bench.AblateTLS)
+		if err != nil {
+			return err
+		}
+		bench.PrintTLSAblation(w, r)
+		fmt.Fprintln(w)
+	}
+	if all || exp == "fig6-scenario" {
+		matched = true
+		for _, m := range arch.Machines() {
+			pts, err := bench.Fig6Scenario(m, []int{1, 2, 4}, []int{0, 1, 3})
+			if err != nil {
+				return err
+			}
+			bench.PrintFig6(w, pts)
+			fmt.Fprintln(w)
+		}
+	}
+	if all || exp == "huge-pages" {
+		matched = true
+		for _, m := range arch.Machines() {
+			r, err := bench.HugePages(m)
+			if err != nil {
+				return err
+			}
+			bench.PrintHugePages(w, r)
+			fmt.Fprintln(w)
+		}
+	}
+	if all || exp == "mpi-oversub" {
+		matched = true
+		for _, m := range arch.Machines() {
+			pts, err := bench.MPIOversubscription(m, []int{2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			bench.PrintMPI(w, pts)
+			fmt.Fprintln(w)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func writeCSV(path string, series []bench.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteSeriesCSV(f, series)
+}

@@ -1,0 +1,205 @@
+// ulpsim runs a configurable ULP-PiP scenario on a simulated machine and
+// reports scheduling statistics — optionally with a full event trace.
+//
+// Usage:
+//
+//	ulpsim -machine Wallaby -ulps 8 -prog-cores 2 -syscall-cores 2 \
+//	       -ops 16 -compute-us 5 -idle blocking -trace trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/blt"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+func main() {
+	var (
+		machineName  = flag.String("machine", "Wallaby", "Wallaby (x86_64) or Albireo (aarch64)")
+		ulps         = flag.Int("ulps", 4, "number of ULPs to spawn")
+		progCores    = flag.Int("prog-cores", 2, "cores running user code (schedulers)")
+		syscallCores = flag.Int("syscall-cores", 2, "cores dedicated to system-calls")
+		ops          = flag.Int("ops", 8, "bracketed open-write-close operations per ULP")
+		computeUS    = flag.Float64("compute-us", 5, "computation between operations [us]")
+		writeSize    = flag.Int("write-size", 4096, "write buffer size [bytes]")
+		idle         = flag.String("idle", "busywait", "KC idle policy: busywait or blocking")
+		signals      = flag.String("signals", "fcontext", "context switch style: fcontext or ucontext")
+		tracePath    = flag.String("trace", "", "write the event trace to this file")
+		traceCap     = flag.Int("trace-cap", 4096, "max retained trace events")
+		workSteal    = flag.Bool("workstealing", false, "idle schedulers steal ready UCs from peers")
+		showTimeline = flag.Bool("timeline", false, "print per-core utilization and an ASCII Gantt chart")
+		preemptUS    = flag.Float64("preempt-us", 0, "Shinjuku-style ULT preemption quantum [us], 0 = off")
+	)
+	flag.Parse()
+	if err := run(*machineName, *ulps, *progCores, *syscallCores, *ops,
+		*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
+		*workSteal, *preemptUS, *showTimeline); err != nil {
+		fmt.Fprintln(os.Stderr, "ulpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machineName string, ulps, progCores, syscallCores, ops int,
+	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
+	workSteal bool, preemptUS float64, showTimeline bool) error {
+
+	m := arch.ByName(machineName)
+	if m == nil {
+		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
+	}
+	if progCores+syscallCores > m.Cores() {
+		return fmt.Errorf("%d cores requested, machine has %d", progCores+syscallCores, m.Cores())
+	}
+	idlePolicy := blt.BusyWait
+	switch idle {
+	case "busywait":
+	case "blocking":
+		idlePolicy = blt.Blocking
+	default:
+		return fmt.Errorf("unknown idle policy %q", idle)
+	}
+	sigMode := core.FcontextMode
+	switch signals {
+	case "fcontext":
+	case "ucontext":
+		sigMode = core.UcontextMode
+	default:
+		return fmt.Errorf("unknown signal mode %q", signals)
+	}
+
+	e := sim.New()
+	var tracer *sim.Tracer
+	if tracePath != "" {
+		tracer = sim.NewTracer(traceCap)
+		e.SetTracer(tracer)
+	}
+	k := kernel.New(e, m)
+	var rec *timeline.Recorder
+	if showTimeline {
+		rec = timeline.New()
+		k.SetTimeline(rec)
+	}
+
+	cfg := core.Config{
+		ProgCores:      seq(0, progCores),
+		SyscallCores:   seq(progCores, syscallCores),
+		Idle:           idlePolicy,
+		Signals:        sigMode,
+		Audit:          true,
+		WorkStealing:   workSteal,
+		PreemptQuantum: sim.FromUS(preemptUS),
+	}
+
+	worker := &loader.Image{
+		Name: "worker", PIE: true, TextSize: 4096,
+		Symbols: []loader.Symbol{
+			{Name: "progress", Size: 8},
+			{Name: "errno", Size: 8, TLS: true},
+		},
+		Main: func(envI interface{}) int {
+			env := envI.(*core.Env)
+			buf := make([]byte, writeSize)
+			for i := 0; i < ops; i++ {
+				env.Compute(sim.FromUS(computeUS))
+				env.Exec(func(kc *kernel.Task) {
+					fd, err := kc.Open(fmt.Sprintf("/out.%d", env.U.Rank),
+						fs.OCreate|fs.OWrOnly|fs.OTrunc)
+					if err != nil {
+						panic(err)
+					}
+					kc.Write(fd, buf, true)
+					kc.Close(fd)
+				})
+				env.Yield()
+			}
+			return 0
+		},
+	}
+
+	var makespan sim.Duration
+	var statuses []int
+	var violations int
+	var rtRef *core.Runtime
+	core.Boot(k, cfg, func(rt *core.Runtime) int {
+		rtRef = rt
+		start := e.Now()
+		for i := 0; i < ulps; i++ {
+			if _, err := rt.Spawn(worker, core.SpawnOpts{Scheduler: -1, StartDecoupled: true}); err != nil {
+				panic(err)
+			}
+		}
+		var err error
+		statuses, err = rt.WaitAll()
+		if err != nil {
+			panic(err)
+		}
+		makespan = e.Now().Sub(start)
+		violations = len(rt.Violations())
+		rt.Shutdown()
+		return 0
+	})
+	if err := e.Run(); err != nil {
+		return err
+	}
+
+	fmt.Printf("machine        %s (%s, %d cores @ %.1f GHz)\n", m.Name, m.Arch, m.Cores(), m.ClockGHz)
+	fmt.Printf("deployment     %d prog + %d syscall cores, idle=%s, signals=%s, preempt=%v\n",
+		progCores, syscallCores, idlePolicy, sigMode, sim.FromUS(preemptUS))
+	fmt.Printf("workload       %d ULPs x %d ops (%d B writes, %.1f us compute)\n",
+		ulps, ops, writeSize, computeUS)
+	fmt.Printf("makespan       %v\n", makespan)
+	totalOps := float64(ulps * ops)
+	fmt.Printf("throughput     %.1f ops/ms\n", totalOps/(float64(makespan)/1e9))
+	fmt.Printf("exit statuses  %v\n", statuses)
+	fmt.Printf("consistency    %d violations (audited)\n", violations)
+	fmt.Printf("kernel         %d syscalls, %d kernel context switches\n",
+		k.Syscalls(), k.ContextSwitches())
+	for _, s := range rtRef.Pool().Schedulers() {
+		fmt.Printf("scheduler c%-2d  %d dispatches, %d steals, %v spun idle\n",
+			s.Core(), s.Dispatches(), s.Steals(), s.SpunIdle())
+	}
+	for i := 0; i < k.Cores(); i++ {
+		if b := k.Core(i).Busy(); b > 0 {
+			fmt.Printf("core %-2d        busy %v (%.1f%%)\n", i, b,
+				100*float64(b)/float64(e.Now()))
+		}
+	}
+
+	if showTimeline {
+		fmt.Println()
+		rec.Report(os.Stdout)
+		fmt.Println()
+		rec.Gantt(os.Stdout, 72)
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tracer.Dump(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace          %d events retained (of %d) -> %s\n",
+			len(tracer.Events()), tracer.Total(), tracePath)
+	}
+	return nil
+}
+
+func seq(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// tasking_tree runs a nested fork-join workload (a recursive tree sum,
+// the classic OpenMP tasking benchmark shape) on the BOLT-style task
+// runtime: worker BLTs on two program cores execute a task tree that is
+// far wider than the core count. Nested groups never deadlock (waiting
+// tasks execute ready children inline), and idle workers park on their
+// kernel contexts on the system-call cores instead of burning program
+// cores.
+//
+// Each leaf also writes a marker file inside an Exec bracket, showing
+// that system-call consistency composes with task parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ulppip "repro"
+)
+
+const (
+	depth     = 6 // 2^6 = 64 leaves
+	leafWork  = 20 * ulppip.Microsecond
+	numWorker = 8
+)
+
+func main() {
+	for _, workers := range []int{1, 2, 4, 8} {
+		d, sum := run(workers)
+		fmt.Printf("workers=%-3d leaves=64  sum=%-6d  makespan=%10v\n",
+			workers, sum, d)
+	}
+}
+
+func run(workers int) (ulppip.Duration, int) {
+	s := ulppip.NewSim(ulppip.Wallaby())
+	var makespan ulppip.Duration
+	total := 0
+
+	root := s.Kernel.NewTask("main", s.Kernel.NewAddressSpace(), func(task *ulppip.Task) int {
+		rt, err := ulppip.NewTaskRuntime(task, ulppip.TaskConfig{
+			ProgCores:    []int{0, 1},
+			SyscallCores: []int{2, 3},
+			Idle:         ulppip.IdleBlocking,
+			Workers:      workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := s.Now()
+		err = rt.Run(task, func(tc *ulppip.TaskCtx) {
+			total = treeSum(tc, depth, 1)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		makespan = s.Now().Sub(start)
+		rt.Shutdown(task)
+		return 0
+	})
+	s.Kernel.Start(root, 0)
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return makespan, total
+}
+
+// treeSum forks two subtrees per node; leaves compute and write a
+// marker file.
+func treeSum(tc *ulppip.TaskCtx, level, id int) int {
+	if level == 0 {
+		tc.Compute(leafWork)
+		tc.Exec(func(kc *ulppip.Task) {
+			fd, err := kc.Open(fmt.Sprintf("/leaf.%d", id), ulppip.OCreate|ulppip.OWrOnly)
+			if err != nil {
+				log.Fatal(err)
+			}
+			kc.Write(fd, []byte{1}, false)
+			kc.Close(fd)
+		})
+		return 1
+	}
+	var left, right int
+	g := tc.NewGroup()
+	g.Spawn(tc, func(sub *ulppip.TaskCtx) {
+		left = treeSum(sub, level-1, id*2)
+	})
+	g.Spawn(tc, func(sub *ulppip.TaskCtx) {
+		right = treeSum(sub, level-1, id*2+1)
+	})
+	g.WaitCtx(tc)
+	return left + right
+}

@@ -1,0 +1,207 @@
+// Package aio implements POSIX asynchronous I/O the way glibc does — and
+// the way the paper describes in §II: "1) a PThread is created at the
+// first call of aio_read() or aio_write(), 2) the main thread delegates
+// the I/O operation to the created thread, and 3) it waits for the
+// completion of the I/O by calling aio_return() or aio_suspend()".
+//
+// This is the baseline ULP-PiP is compared against in Fig. 7 (slowdown)
+// and Fig. 8 (overlap ratio). Two completion-wait styles are modeled:
+//
+//   - aio_return polling (AIO-return): suited to ULTs, which poll in a
+//     yield loop;
+//   - aio_suspend blocking (AIO-suspend): blocks the calling KLT on a
+//     futex until the helper signals completion.
+package aio
+
+import (
+	"errors"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// ErrInProgress is returned by Return before the request completes
+// (EINPROGRESS).
+var ErrInProgress = errors.New("aio: operation in progress")
+
+// ErrClosed is returned when submitting to a closed context.
+var ErrClosed = errors.New("aio: context closed")
+
+// Op is the requested operation.
+type Op int
+
+// Operations.
+const (
+	OpWrite Op = iota
+	OpRead
+)
+
+// Request is one asynchronous I/O control block (struct aiocb).
+type Request struct {
+	Op   Op
+	FD   int
+	Data []byte // write source or read destination
+
+	done     bool
+	result   int
+	err      error
+	waitWord uint64 // futex word for aio_suspend
+	ctx      *Context
+}
+
+// Done reports completion without any cost (internal/test use).
+func (r *Request) Done() bool { return r.done }
+
+// Context is a process's AIO state: the helper thread and its request
+// queue. The helper is created lazily on the first submission, exactly
+// like glibc's thread pool.
+type Context struct {
+	owner  *kernel.Task
+	helper *kernel.Task
+
+	queue     []*Request
+	sleepWord uint64
+	sleeping  bool
+	closed    bool
+
+	// Stats.
+	submitted, completed uint64
+}
+
+// New creates an AIO context owned by the given task. No helper thread
+// exists until the first submission.
+func New(owner *kernel.Task) (*Context, error) {
+	word, err := owner.Space().Mmap(8, mem.ProtRead|mem.ProtWrite, "aio.sleep", true, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{owner: owner, sleepWord: word}, nil
+}
+
+// Helper returns the helper thread's task, nil before first submission.
+func (c *Context) Helper() *kernel.Task { return c.helper }
+
+// Stats reports submitted and completed request counts.
+func (c *Context) Stats() (submitted, completed uint64) {
+	return c.submitted, c.completed
+}
+
+// Submit enqueues an asynchronous operation on behalf of t (which must
+// be the owner or share its address space). The first submission pays
+// pthread_create for the helper; every submission pays the dispatch
+// cost (queue insert + helper wakeup).
+func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	k := t.Kernel()
+	if c.helper == nil {
+		c.helper = t.Clone("aio-helper", kernel.PThreadFlags, c.helperBody)
+	}
+	// The aiocb's completion word is plain user memory (no mmap
+	// system-call per request in glibc either).
+	word, err := t.Space().Mmap(8, mem.ProtRead|mem.ProtWrite, "aiocb", true, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Op: op, FD: fd, Data: data, waitWord: word, ctx: c}
+	t.Charge(k.Machine().Costs.AIODispatch)
+	c.queue = append(c.queue, r)
+	c.submitted++
+	c.kick(t)
+	return r, nil
+}
+
+// WriteAsync is aio_write.
+func (c *Context) WriteAsync(t *kernel.Task, fd int, data []byte) (*Request, error) {
+	return c.Submit(t, OpWrite, fd, data)
+}
+
+// ReadAsync is aio_read.
+func (c *Context) ReadAsync(t *kernel.Task, fd int, buf []byte) (*Request, error) {
+	return c.Submit(t, OpRead, fd, buf)
+}
+
+// Error is aio_error: one status poll. It returns ErrInProgress until
+// completion, then the operation's error (nil on success).
+func (r *Request) Error(t *kernel.Task) error {
+	t.Charge(t.Kernel().Machine().Costs.AIOReturnPoll)
+	if !r.done {
+		return ErrInProgress
+	}
+	return r.err
+}
+
+// Return is aio_return: poll, and on completion fetch the result.
+func (r *Request) Return(t *kernel.Task) (int, error) {
+	if err := r.Error(t); err != nil {
+		return 0, err
+	}
+	return r.result, r.err
+}
+
+// Suspend is aio_suspend: block the calling KLT until the request
+// completes, then return its result.
+func (r *Request) Suspend(t *kernel.Task) (int, error) {
+	for !r.done {
+		if err := t.FutexWait(r.waitWord, 0); err != nil && err != kernel.ErrFutexAgain {
+			return 0, err
+		}
+	}
+	return r.result, r.err
+}
+
+// Close stops the helper thread (joining it) and rejects further
+// submissions.
+func (c *Context) Close(t *kernel.Task) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.helper != nil {
+		c.kick(t)
+		t.Join(c.helper)
+	}
+}
+
+// kick wakes the helper if it is sleeping on the empty queue.
+func (c *Context) kick(t *kernel.Task) {
+	t.Space().WriteU64(c.sleepWord, 1, nil)
+	t.FutexWake(c.sleepWord, 1)
+}
+
+// helperBody is the AIO helper thread: serve requests until closed.
+func (c *Context) helperBody(t *kernel.Task) int {
+	k := t.Kernel()
+	for {
+		for len(c.queue) == 0 {
+			if c.closed {
+				return 0
+			}
+			c.sleeping = true
+			if err := t.FutexWait(c.sleepWord, 0); err != nil && err != kernel.ErrFutexAgain {
+				panic(err)
+			}
+			c.sleeping = false
+			t.Space().WriteU64(c.sleepWord, 0, nil)
+		}
+		r := c.queue[0]
+		c.queue = c.queue[1:]
+		switch r.Op {
+		case OpWrite:
+			// The helper shares the submitter's FD table (it is a
+			// thread), so the fd is valid here — this is why AIO works
+			// for threads where naive delegation across processes
+			// would not.
+			r.result, r.err = t.Write(r.FD, r.Data, false)
+		case OpRead:
+			r.result, r.err = t.Read(r.FD, r.Data)
+		}
+		t.Charge(k.Machine().Costs.AIOComplete)
+		r.done = true
+		c.completed++
+		// Wake aio_suspend waiters.
+		t.Space().WriteU64(r.waitWord, 1, nil)
+		t.FutexWake(r.waitWord, 1)
+	}
+}

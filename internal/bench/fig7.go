@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aio"
+	"repro/internal/arch"
+	"repro/internal/blt"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Fig7Mechanisms are the series of Fig. 7, in the paper's legend order.
+var Fig7Mechanisms = []string{
+	"ULP-BUSYWAIT", "ULP-BLOCKING", "AIO-return", "AIO-suspend",
+}
+
+// Fig7Result is one machine's slowdown curves: the time of an
+// open-write-close sequence on tmpfs with each mechanism, divided by the
+// plain synchronous system-calls.
+type Fig7Result struct {
+	Machine  *arch.Machine
+	Sizes    []int
+	Baseline []sim.Duration            // plain open-write-close per size
+	Times    map[string][]sim.Duration // mechanism -> per-size time
+}
+
+// Slowdown returns the mechanism's slowdown ratio per size.
+func (r Fig7Result) Slowdown(mech string) []float64 {
+	out := make([]float64, len(r.Sizes))
+	for i, t := range r.Times[mech] {
+		out[i] = float64(t) / float64(r.Baseline[i])
+	}
+	return out
+}
+
+// Series converts the result to plottable series.
+func (r Fig7Result) Series() []Series {
+	var out []Series
+	for _, mech := range Fig7Mechanisms {
+		s := Series{Machine: r.Machine, Label: mech}
+		for i, v := range r.Slowdown(mech) {
+			s.Points = append(s.Points, Point{X: float64(r.Sizes[i]), Y: v})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// owcBaseline measures one plain synchronous open-write-close of size
+// bytes on tmpfs (the Fig. 7 denominator).
+func owcBaseline(m *arch.Machine, size int) (sim.Duration, error) {
+	return MinOf(func() (sim.Duration, error) {
+		var per sim.Duration
+		err := RunKernel(m, func(k *kernel.Kernel, root *kernel.Task) {
+			e := k.Engine()
+			buf := make([]byte, size)
+			const warm, n = 4, 16
+			var t0 sim.Time
+			for i := 0; i < warm+n; i++ {
+				if i == warm {
+					t0 = e.Now()
+				}
+				fd, err := root.Open("/bench", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+				if err != nil {
+					panic(err)
+				}
+				root.Write(fd, buf, false)
+				root.Close(fd)
+			}
+			per = sim.Duration(float64(e.Now().Sub(t0)) / float64(n))
+		})
+		return per, err
+	})
+}
+
+// owcAIO measures open (sync) + aio_write + wait + close (sync). Only
+// the write is asynchronous — "the current AIO infrastructure only
+// supports read and write". suspend selects aio_suspend over the
+// aio_return polling loop.
+func owcAIO(m *arch.Machine, size int, suspend bool) (sim.Duration, error) {
+	return MinOf(func() (sim.Duration, error) {
+		var per sim.Duration
+		err := RunKernel(m, func(k *kernel.Kernel, root *kernel.Task) {
+			e := k.Engine()
+			buf := make([]byte, size)
+			ctx, err := aio.New(root)
+			if err != nil {
+				panic(err)
+			}
+			// Warm-up includes the helper-thread creation, which the
+			// paper explicitly excludes from the measurement.
+			const warm, n = 4, 16
+			var t0 sim.Time
+			for i := 0; i < warm+n; i++ {
+				if i == warm {
+					t0 = e.Now()
+				}
+				fd, err := root.Open("/bench", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+				if err != nil {
+					panic(err)
+				}
+				r, err := ctx.WriteAsync(root, fd, buf)
+				if err != nil {
+					panic(err)
+				}
+				if suspend {
+					r.Suspend(root)
+				} else {
+					for {
+						if _, err := r.Return(root); !errors.Is(err, aio.ErrInProgress) {
+							break
+						}
+						root.SchedYield()
+					}
+				}
+				root.Close(fd)
+			}
+			per = sim.Duration(float64(e.Now().Sub(t0)) / float64(n))
+			ctx.Close(root)
+		})
+		return per, err
+	})
+}
+
+// owcULP measures the whole open-write-close series inside one
+// couple()/decouple() bracket of a decoupled ULP — "the whole sequence
+// must be done by a KLT otherwise the system-call consistency is
+// broken". The write streams the buffer to the dedicated syscall core
+// (remote=true), which is where the Albireo crossover comes from.
+func owcULP(m *arch.Machine, size int, idle blt.IdlePolicy) (sim.Duration, error) {
+	return MinOf(func() (sim.Duration, error) {
+		var per sim.Duration
+		err := runULP(m, idle, func(rt *core.Runtime) {
+			e := rt.Kernel().Engine()
+			buf := make([]byte, size)
+			rt.Spawn(benchImage("owc", func(envI interface{}) int {
+				env := envI.(*core.Env)
+				env.Decouple()
+				const warm, n = 4, 16
+				var t0 sim.Time
+				for i := 0; i < warm+n; i++ {
+					if i == warm {
+						t0 = e.Now()
+					}
+					env.Exec(func(kc *kernel.Task) {
+						fd, err := kc.Open("/bench", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+						if err != nil {
+							panic(err)
+						}
+						kc.Write(fd, buf, true)
+						kc.Close(fd)
+					})
+				}
+				per = sim.Duration(float64(e.Now().Sub(t0)) / float64(n))
+				env.Couple()
+				return 0
+			}), core.SpawnOpts{Scheduler: 0})
+			rt.WaitAll()
+		})
+		return per, err
+	})
+}
+
+// Fig7 sweeps all mechanisms over the write-buffer sizes on machine m.
+func Fig7(m *arch.Machine) (Fig7Result, error) {
+	res := Fig7Result{
+		Machine: m,
+		Sizes:   Fig7Sizes(),
+		Times:   make(map[string][]sim.Duration),
+	}
+	for _, size := range res.Sizes {
+		base, err := owcBaseline(m, size)
+		if err != nil {
+			return res, fmt.Errorf("baseline size %d: %w", size, err)
+		}
+		res.Baseline = append(res.Baseline, base)
+
+		d, err := owcULP(m, size, blt.BusyWait)
+		if err != nil {
+			return res, err
+		}
+		res.Times["ULP-BUSYWAIT"] = append(res.Times["ULP-BUSYWAIT"], d)
+
+		d, err = owcULP(m, size, blt.Blocking)
+		if err != nil {
+			return res, err
+		}
+		res.Times["ULP-BLOCKING"] = append(res.Times["ULP-BLOCKING"], d)
+
+		d, err = owcAIO(m, size, false)
+		if err != nil {
+			return res, err
+		}
+		res.Times["AIO-return"] = append(res.Times["AIO-return"], d)
+
+		d, err = owcAIO(m, size, true)
+		if err != nil {
+			return res, err
+		}
+		res.Times["AIO-suspend"] = append(res.Times["AIO-suspend"], d)
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// PrintTable3 renders Table III in the paper's layout.
+func PrintTable3(w io.Writer, results map[string]Table3Result) {
+	fmt.Fprintln(w, "TABLE III — CONTEXT SWITCH AND LOAD TLS")
+	fmt.Fprintf(w, "%-14s | %-22s | %-12s\n", "", "Wallaby", "Albireo")
+	fmt.Fprintf(w, "%-14s | %-10s %-11s | %-12s\n", "", "Time [Sec]", "Cycles", "Time [Sec]")
+	fmt.Fprintln(w, strings.Repeat("-", 56))
+	row := func(name string, get func(Table3Result) Measurement) {
+		wlb, alb := get(results["Wallaby"]), get(results["Albireo"])
+		fmt.Fprintf(w, "%-14s | %-10s %-11s | %-12s\n",
+			name, wlb.TimeSec(), wlb.CyclesStr(), alb.TimeSec())
+	}
+	row("Context Sw.", func(r Table3Result) Measurement { return r.CtxSwitch })
+	row("Load TLS", func(r Table3Result) Measurement { return r.LoadTLS })
+}
+
+// PrintTable4 renders Table IV in the paper's layout.
+func PrintTable4(w io.Writer, results map[string]Table4Result) {
+	fmt.Fprintln(w, "TABLE IV — YIELDING TIME (2 ULPs OR PTHREADS)")
+	fmt.Fprintf(w, "%-26s | %-22s | %-12s\n", "", "Wallaby", "Albireo")
+	fmt.Fprintf(w, "%-26s | %-10s %-11s | %-12s\n", "", "Time [Sec]", "Cycles", "Time [Sec]")
+	fmt.Fprintln(w, strings.Repeat("-", 68))
+	row := func(name string, get func(Table4Result) Measurement) {
+		wlb, alb := get(results["Wallaby"]), get(results["Albireo"])
+		fmt.Fprintf(w, "%-26s | %-10s %-11s | %-12s\n",
+			name, wlb.TimeSec(), wlb.CyclesStr(), alb.TimeSec())
+	}
+	row("ULP-PiP yield", func(r Table4Result) Measurement { return r.ULPYield })
+	row("sched_yield() on 1 core", func(r Table4Result) Measurement { return r.SchedYield1Core })
+	row("sched_yield() on 2 cores", func(r Table4Result) Measurement { return r.SchedYield2Core })
+}
+
+// PrintTable5 renders Table V in the paper's layout.
+func PrintTable5(w io.Writer, results map[string]Table5Result) {
+	fmt.Fprintln(w, "TABLE V — TIME OF getpid()")
+	fmt.Fprintf(w, "%-20s | %-22s | %-12s\n", "", "Wallaby", "Albireo")
+	fmt.Fprintf(w, "%-20s | %-10s %-11s | %-12s\n", "", "Time [Sec]", "Cycles", "Time [Sec]")
+	fmt.Fprintln(w, strings.Repeat("-", 62))
+	row := func(name string, get func(Table5Result) Measurement) {
+		wlb, alb := get(results["Wallaby"]), get(results["Albireo"])
+		fmt.Fprintf(w, "%-20s | %-10s %-11s | %-12s\n",
+			name, wlb.TimeSec(), wlb.CyclesStr(), alb.TimeSec())
+	}
+	row("Linux", func(r Table5Result) Measurement { return r.Linux })
+	row("ULP-PiP: BUSYWAIT", func(r Table5Result) Measurement { return r.BusyWait })
+	row("ULP-PiP: BLOCKING", func(r Table5Result) Measurement { return r.Blocking })
+}
+
+// PrintFig7 renders the slowdown curves as an aligned table (one block
+// per machine), plus the crossover summary the paper discusses.
+func PrintFig7(w io.Writer, r Fig7Result) {
+	fmt.Fprintf(w, "FIGURE 7 — SLOWDOWN OF OPEN-WRITE-CLOSE (%s)\n", r.Machine.Name)
+	fmt.Fprintf(w, "%-10s", "size[B]")
+	for _, mech := range Fig7Mechanisms {
+		fmt.Fprintf(w, " %12s", mech)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 10+13*len(Fig7Mechanisms)))
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%-10d", size)
+		for _, mech := range Fig7Mechanisms {
+			fmt.Fprintf(w, " %12.3f", r.Slowdown(mech)[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig8 renders the overlap-ratio curves.
+func PrintFig8(w io.Writer, r Fig8Result) {
+	fmt.Fprintf(w, "FIGURE 8 — OVERLAP RATIO %% (%s)\n", r.Machine.Name)
+	fmt.Fprintf(w, "%-10s", "size[B]")
+	for _, mech := range Fig7Mechanisms {
+		fmt.Fprintf(w, " %12s", mech)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 10+13*len(Fig7Mechanisms)))
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%-10d", size)
+		for _, mech := range Fig7Mechanisms {
+			fmt.Fprintf(w, " %12.1f", r.Overlap[mech][i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteSeriesCSV emits series as CSV (size, then one column per label) —
+// for external plotting of the figures.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	cols := []string{"x"}
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range series[0].Points {
+		fields := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
+		for _, s := range series {
+			fields = append(fields, fmt.Sprintf("%.4f", s.Points[i].Y))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MachineResults runs fn for both machines keyed by name — the common
+// "both machines" sweep of the paper's evaluation.
+func MachineResults[T any](fn func(m *arch.Machine) (T, error)) (map[string]T, error) {
+	out := make(map[string]T, 2)
+	for _, m := range arch.Machines() {
+		r, err := fn(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		out[m.Name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/uctx"
+)
+
+// Table3Result reproduces paper Table III: the raw user-level context
+// switch time and the TLS-register load time on each machine.
+type Table3Result struct {
+	CtxSwitch Measurement
+	LoadTLS   Measurement
+}
+
+// Table3 measures the two primitives on machine m.
+//
+// Context switch: two fcontext-style user contexts ping-pong on a single
+// kernel task, each transfer charging one swap — the Boost fcontext
+// microbenchmark. Load TLS: a tight loop of TLS-register loads
+// (arch_prctl on x86_64; a register write on AArch64).
+func Table3(m *arch.Machine) (Table3Result, error) {
+	var res Table3Result
+
+	swap, err := MinOf(func() (sim.Duration, error) {
+		var per sim.Duration
+		err := RunKernel(m, func(k *kernel.Kernel, root *kernel.Task) {
+			const warm, n = 16, 512
+			costs := k.Machine().Costs
+			// Two contexts ping-ponging: context A is the measuring
+			// loop, context B just bounces back.
+			var a, b *uctx.Context
+			b = uctx.New("b", func(c *uctx.Context) {
+				for {
+					c.Yield(nil)
+				}
+			})
+			var t0, t1 sim.Time
+			a = uctx.New("a", func(c *uctx.Context) {
+				e := root.Kernel().Engine()
+				for i := 0; i < warm+n; i++ {
+					if i == warm {
+						t0 = e.Now()
+					}
+					// swap_ctx(a, b): one save+load.
+					root.Charge(costs.UserCtxSwap)
+					c.Yield(nil)
+				}
+				t1 = e.Now()
+			})
+			for !a.Done() {
+				if ev := a.Step(root); ev.Kind == uctx.EvExit {
+					break
+				}
+				root.Charge(costs.UserCtxSwap)
+				b.Step(root)
+			}
+			b.Kill()
+			// Each iteration of a is one a->b swap and one b->a swap.
+			per = sim.Duration(float64(t1.Sub(t0)) / float64(2*n))
+		})
+		return per, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.CtxSwitch = NewMeasurement(m, "Context Sw.", swap)
+
+	tls, err := MinOf(func() (sim.Duration, error) {
+		var per sim.Duration
+		err := RunKernel(m, func(k *kernel.Kernel, root *kernel.Task) {
+			e := k.Engine()
+			const warm, n = 16, 512
+			var t0 sim.Time
+			for i := 0; i < warm+n; i++ {
+				if i == warm {
+					t0 = e.Now()
+				}
+				root.LoadTLS(uint64(0x1000 + i))
+			}
+			per = sim.Duration(float64(e.Now().Sub(t0)) / float64(n))
+		})
+		return per, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.LoadTLS = NewMeasurement(m, "Load TLS", tls)
+	return res, nil
+}

@@ -1,0 +1,238 @@
+// Package blt implements Bi-Level Threads — the paper's core
+// contribution. A BLT is created as a kernel-level thread (a UC coupled
+// with its original KC) and can become a user-level thread at runtime by
+// decoupling its UC from the KC, and a KLT again by coupling back:
+//
+//	decouple(): UC detaches from the original KC and is enqueued on a
+//	    scheduler; the KC idles (busy-waiting or blocked on a futex) in
+//	    its trampoline context.
+//	couple(): the UC migrates back to its original KC, so system-calls
+//	    between couple() and decouple() execute on the KC that owns the
+//	    BLT's kernel state — preserving system-call consistency.
+//
+// The implementation follows the paper's Table I protocol, including the
+// trampoline context (§V-A) that avoids the Fig. 4 busy-stack hazard and
+// the two synchronization points of the couple/decouple handshake. Both
+// idle policies of §VI-C (BUSYWAIT and BLOCKING) are provided, and M:N
+// operation (§VII: several UCs sharing one original KC) is supported via
+// KCHost.
+package blt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/uctx"
+)
+
+// Errors reported by the BLT runtime.
+var (
+	ErrPoolStopped = errors.New("blt: pool is stopped")
+	ErrNotCoupled  = errors.New("blt: operation requires coupled state")
+	ErrHostDead    = errors.New("blt: original KC has already terminated")
+)
+
+// yieldTag is the protocol tag a UC attaches when yielding to its
+// carrier.
+type yieldTag int
+
+const (
+	// tagYield: cooperative ULT yield — requeue me and run another UC.
+	tagYield yieldTag = iota
+	// tagCoupling: I have requested coupling with my original KC; do
+	// not requeue me (Table I, Seq.3: swap_ctx(UC0, UCi)).
+	tagCoupling
+	// tagDecouple: I have enqueued myself on a scheduler; switch to the
+	// trampoline context (Table I, Seq.7: swap_ctx(UC0, TC0)).
+	tagDecouple
+)
+
+func (g yieldTag) String() string {
+	switch g {
+	case tagYield:
+		return "yield"
+	case tagCoupling:
+		return "coupling"
+	case tagDecouple:
+		return "decouple"
+	}
+	return "?"
+}
+
+// Body is the user function a BLT executes. Its return value becomes the
+// BLT's exit status.
+type Body func(b *BLT) int
+
+// BLT is one bi-level thread.
+type BLT struct {
+	pool *Pool
+	name string
+
+	uc   *uctx.Context
+	host *KCHost // owns the original KC
+	home *Scheduler
+
+	tlsBase   uint64
+	sigMask   uint64 // the UC's signal mask (ucontext-style switching)
+	stackAddr uint64 // UC stack reservation in the shared space
+	stackSize uint64
+	body      Body
+
+	// coupled is true while the UC runs (or is about to run) as a KLT
+	// on its original KC.
+	coupled bool
+
+	// ucSaved is the first synchronization point of Table I (between
+	// Seq.3 on the scheduler and Seq.4 on the original KC): the
+	// original KC must not load UC0 before the scheduler has saved it.
+	ucSaved bool
+
+	done       bool
+	exitStatus int
+
+	// Stats.
+	couples, decouples, yields uint64
+}
+
+// Name returns the BLT's diagnostic name.
+func (b *BLT) Name() string { return b.name }
+
+// KC returns the BLT's original kernel context.
+func (b *BLT) KC() *kernel.Task { return b.host.task }
+
+// Host returns the KC host (shared in M:N mode).
+func (b *BLT) Host() *KCHost { return b.host }
+
+// Coupled reports whether the BLT currently runs as a KLT.
+func (b *BLT) Coupled() bool { return b.coupled }
+
+// Done reports whether the BLT has terminated.
+func (b *BLT) Done() bool { return b.done }
+
+// ExitStatus returns the body's return value (valid once Done).
+func (b *BLT) ExitStatus() int { return b.exitStatus }
+
+// TLSBase returns the address of the BLT's thread descriptor (the TLS
+// register value its carrier holds while running it).
+func (b *BLT) TLSBase() uint64 { return b.tlsBase }
+
+// Stack returns the UC stack reservation (address, size) in the shared
+// address space.
+func (b *BLT) Stack() (addr, size uint64) { return b.stackAddr, b.stackSize }
+
+// SigMask returns the UC's signal mask (used under SwitchSigmask).
+func (b *BLT) SigMask() uint64 { return b.sigMask }
+
+// SetSigMask records the UC's signal mask; under ucontext-style
+// switching the mask follows the UC across carriers.
+func (b *BLT) SetSigMask(mask uint64) { b.sigMask = mask }
+
+// Stats reports how many couple/decouple/yield transitions the BLT made.
+func (b *BLT) Stats() (couples, decouples, yields uint64) {
+	return b.couples, b.decouples, b.yields
+}
+
+// Carrier returns the kernel task currently executing the BLT. Only
+// valid from within the BLT's body.
+func (b *BLT) Carrier() *kernel.Task { return b.uc.Carrier() }
+
+// String implements fmt.Stringer.
+func (b *BLT) String() string { return "blt:" + b.name }
+
+// ucBody wraps the user body with the BLT lifecycle: optionally decouple
+// right away (the Fig. 6 scenario), and always terminate as a KLT
+// coupled with the original KC (paper rule 7).
+func (b *BLT) ucBody(c *uctx.Context) {
+	if b.pool.cfg.StartDecoupled {
+		b.Decouple()
+	}
+	b.exitStatus = b.body(b)
+	if !b.coupled {
+		b.Couple()
+	}
+}
+
+// Decouple detaches the calling BLT's UC from its original KC: the UC is
+// enqueued on its home scheduler and the KC goes idle in its trampoline
+// context. The call returns once a scheduler resumes the UC — from then
+// on the BLT is a ULT. Calling Decouple while already decoupled is a
+// no-op, mirroring the library.
+func (b *BLT) Decouple() {
+	if !b.coupled {
+		return
+	}
+	if b.uc.Carrier() != b.host.task {
+		panic(fmt.Sprintf("blt: %s coupled but carried by %s, not its original KC %s",
+			b, b.uc.Carrier(), b.host.task))
+	}
+	b.decouples++
+	b.coupled = false
+	b.ucSaved = false
+	b.pool.trace("decouple: enqueue(%s, sched%d)", b.name, b.home.index) // Table I Seq.6
+	// Table I Seq.6: enqueue(UC0, KC1) — hand the UC to the scheduler.
+	// The scheduler may observe the queue entry before the UC context
+	// is saved; the second synchronization point (Seq.8/9) makes it
+	// wait for ucSaved, which the original KC publishes once the
+	// swap below completes.
+	b.home.enqueue(b, b.uc.Carrier())
+	// Table I Seq.7: swap_ctx(UC0, TC0).
+	b.pool.trace("decouple: swap_ctx(%s, TC)", b.name)
+	b.uc.Yield(tagDecouple)
+	// Resumed here by a scheduler KC: the BLT is now a ULT.
+}
+
+// Couple attaches the calling BLT's UC back to its original KC. On
+// return, the code runs as a KLT on the original KC, so system-calls hit
+// the right kernel state. Calling Couple while already coupled is a
+// no-op.
+func (b *BLT) Couple() {
+	if b.coupled {
+		return
+	}
+	carrier := b.uc.Carrier() // the scheduler KC (Table I: KC1)
+	if carrier == b.host.task {
+		panic(fmt.Sprintf("blt: decoupled %s carried by its own original KC", b))
+	}
+	b.couples++
+	b.coupled = true
+	b.ucSaved = false
+	// Table I Seq.1: enqueue(UC0, KC0) — ask the original KC to run us.
+	// Seq.2: unblock(KC0).
+	b.pool.trace("couple: enqueue(%s, KC) + unblock(KC)", b.name)
+	b.host.enqueueCoupled(b, carrier)
+	// Seq.3: swap_ctx(UC0, UCi) — yield to the scheduler, which marks
+	// the context saved (sync point 1) and runs another UC.
+	b.pool.trace("couple: swap_ctx(%s, next-UC)", b.name)
+	b.uc.Yield(tagCoupling)
+	// Resumed here by the original KC (Seq.4: swap_ctx(TC0, UC0)).
+	if got := b.uc.Carrier(); got != b.host.task {
+		panic(fmt.Sprintf("blt: %s coupled onto %s, want original KC %s", b, got, b.host.task))
+	}
+}
+
+// Yield is the ULT cooperative yield: requeue this UC on its home
+// scheduler and run the next ready UC. While coupled it degenerates to
+// the kernel's sched_yield, as a KLT's yield would.
+func (b *BLT) Yield() {
+	b.yields++
+	if b.coupled {
+		b.uc.Carrier().SchedYield()
+		return
+	}
+	b.uc.Yield(tagYield)
+}
+
+// Exec runs fn coupled to the original KC: the couple()/decouple()
+// bracket the paper recommends around any blocking system-call or series
+// of system-calls. If the BLT is already coupled, fn simply runs.
+func (b *BLT) Exec(fn func(kc *kernel.Task)) {
+	wasCoupled := b.coupled
+	if !wasCoupled {
+		b.Couple()
+	}
+	fn(b.uc.Carrier())
+	if !wasCoupled {
+		b.Decouple()
+	}
+}

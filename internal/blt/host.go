@@ -1,0 +1,166 @@
+package blt
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/uctx"
+)
+
+// semProt is the protection for runtime futex words.
+const semProt = mem.ProtRead | mem.ProtWrite
+
+// KCHost owns one original kernel context (KC) and the trampoline
+// context it idles in. In the default N:N mode a host serves exactly one
+// BLT; in the M:N extension several BLTs share a host, in which case
+// they also share its kernel state (PID, FDs) — "similar to the relation
+// of the conventional process and thread" (paper §VII).
+type KCHost struct {
+	pool *Pool
+	task *kernel.Task
+	tc   *uctx.Context
+
+	// queue holds BLTs whose UC wants to run coupled on this KC
+	// (couple requests, plus the initial KLT run at creation).
+	queue []*BLT
+	slot  idleSlot
+
+	tcStack   uint64 // the trampoline context's small stack
+	residents int    // live BLTs whose original KC this is
+	lastExit  int
+	dead      bool // the KC task has returned; no further adoption
+
+	// running is the BLT currently coupled and executing on this KC.
+	running *BLT
+}
+
+// TCStack returns the trampoline context's stack address.
+func (h *KCHost) TCStack() uint64 { return h.tcStack }
+
+// Running returns the BLT currently coupled on this KC, if any.
+func (h *KCHost) Running() *BLT { return h.running }
+
+// Task returns the host's kernel task (the original KC).
+func (h *KCHost) Task() *kernel.Task { return h.task }
+
+// Residents reports how many live BLTs use this KC as their original KC.
+func (h *KCHost) Residents() int { return h.residents }
+
+// SpunIdle reports CPU time this KC burned busy-waiting.
+func (h *KCHost) SpunIdle() simDuration { return h.slot.Spun() }
+
+// adopt registers a freshly spawned BLT with this host and enqueues its
+// first coupled run (a BLT is *created as a KLT*). Adopting into a host
+// whose KC has already terminated (all previous residents exited) is an
+// error: the kernel context is gone, exactly as a real exited process
+// cannot gain threads.
+func (h *KCHost) adopt(b *BLT, creator *kernel.Task) error {
+	if h.dead {
+		return ErrHostDead
+	}
+	h.residents++
+	b.coupled = true
+	b.ucSaved = true // a new UC has no prior save to wait for
+	h.queue = append(h.queue, b)
+	creator.Charge(h.pool.kern.Machine().Costs.RunQueueOp)
+	h.slot.kick(creator)
+	return nil
+}
+
+// enqueueCoupled is Table I Seq.1+2: a decoupled UC (running on carrier,
+// a scheduler KC) requests coupling; the idle original KC is unblocked.
+func (h *KCHost) enqueueCoupled(b *BLT, carrier *kernel.Task) {
+	carrier.Charge(h.pool.kern.Machine().Costs.RunQueueOp)
+	h.queue = append(h.queue, b)
+	h.slot.kick(carrier)
+}
+
+func (h *KCHost) dequeue(t *kernel.Task) *BLT {
+	t.Charge(h.pool.kern.Machine().Costs.RunQueueOp)
+	b := h.queue[0]
+	copy(h.queue, h.queue[1:])
+	h.queue[len(h.queue)-1] = nil
+	h.queue = h.queue[:len(h.queue)-1]
+	return b
+}
+
+// tcBody is the trampoline context: the stack the original KC runs on
+// while its UC is away. It idles per the pool's policy and hands each
+// coupling (or newly created) BLT to the KC main loop. Running the idle
+// wait on this dedicated small stack — never on a UC stack — is exactly
+// what makes decoupling safe (paper §V-A).
+func (h *KCHost) tcBody(c *uctx.Context) {
+	costs := h.pool.kern.Machine().Costs
+	for {
+		h.slot.wait(c.Carrier(), func() bool {
+			return len(h.queue) > 0 || h.residents == 0
+		})
+		if h.residents == 0 && len(h.queue) == 0 {
+			return
+		}
+		b := h.dequeue(c.Carrier())
+		// Synchronization point 1 (Table I Seq.3/4): do not load the
+		// UC before the scheduler has finished saving it; the window
+		// is a few instructions, so tight-spin.
+		for !b.ucSaved {
+			c.Carrier().Charge(costs.AtomicOp)
+		}
+		h.pool.trace("kc: dequeue(%s)", b.name) // Table I Seq.3 (KC side)
+		c.Yield(b)
+	}
+}
+
+// main is the original KC's kernel-task body: alternate between the
+// trampoline context (idle) and whichever UC is currently coupled.
+func (h *KCHost) main(t *kernel.Task) int {
+	costs := h.pool.kern.Machine().Costs
+	for {
+		// Switch into the trampoline (swap only: TC<->UC transitions
+		// do not reload the TLS register, per §V-B).
+		t.Charge(costs.UserCtxSwap)
+		ev := h.tc.Step(t)
+		if ev.Kind == uctx.EvExit {
+			h.dead = true
+			return h.lastExit
+		}
+		b := ev.Tag.(*BLT)
+		// Table I Seq.4: swap_ctx(TC0, UC0).
+		h.pool.trace("kc: swap_ctx(TC, %s)", b.name)
+		t.Charge(costs.UserCtxSwap)
+		h.runCoupled(t, b)
+	}
+}
+
+// runCoupled steps b's UC as a KLT until it decouples or exits.
+func (h *KCHost) runCoupled(t *kernel.Task, b *BLT) {
+	h.running = b
+	defer func() { h.running = nil }()
+	for {
+		ev := b.uc.Step(t)
+		if ev.Kind == uctx.EvExit {
+			// Paper rule 7: a BLT always terminates as a KLT coupled
+			// with its original KC.
+			b.done = true
+			h.lastExit = b.exitStatus
+			h.residents--
+			return
+		}
+		switch tg := ev.Tag.(yieldTag); tg {
+		case tagDecouple:
+			// Sync point 2 (Table I Seq.8/9): the UC context is now
+			// saved; the scheduler may load it.
+			b.ucSaved = true
+			h.pool.trace("kc: %s saved; blocking on TC", b.name) // Seq.8
+			return                                               // back to the trampoline
+		case tagCoupling:
+			panic(fmt.Sprintf("blt: %s coupled while already on its original KC", b))
+		case tagYield:
+			// A KLT yield would be sched_yield; BLT.Yield handles it
+			// without reaching here.
+			panic(fmt.Sprintf("blt: unexpected ULT yield from coupled %s", b))
+		default:
+			panic(fmt.Sprintf("blt: unknown tag %v from %s", tg, b))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package blt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func TestAdoptIntoDeadHostRejected(t *testing.T) {
+	runPool(t, arch.Wallaby(), testConfig(BusyWait), func(root *kernel.Task, p *Pool) {
+		first, err := p.Spawn(func(b *BLT) int { return 0 }, SpawnOpts{Name: "ephemeral", Scheduler: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reap(t, root, 1) // the KC has now terminated
+		_, err = p.Spawn(func(b *BLT) int { return 0 },
+			SpawnOpts{Name: "late", Scheduler: -1, Host: first.Host()})
+		if !errors.Is(err, ErrHostDead) {
+			t.Errorf("err = %v, want ErrHostDead", err)
+		}
+	})
+}
+
+func TestAdoptIntoLiveSharedHost(t *testing.T) {
+	runPool(t, arch.Wallaby(), testConfig(Blocking), func(root *kernel.Task, p *Pool) {
+		hold := true
+		first, err := p.Spawn(func(b *BLT) int {
+			b.Decouple()
+			for hold {
+				b.Yield()
+			}
+			b.Couple()
+			return 0
+		}, SpawnOpts{Name: "primary", Scheduler: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran := false
+		if _, err := p.Spawn(func(b *BLT) int {
+			b.Decouple()
+			ran = true
+			b.Couple()
+			return 0
+		}, SpawnOpts{Name: "sharer", Scheduler: 0, Host: first.Host()}); err != nil {
+			t.Fatalf("adopt into live host: %v", err)
+		}
+		root.Nanosleep(50 * sim.Microsecond)
+		hold = false
+		reap(t, root, 1) // one KC for both
+		if !ran {
+			t.Error("sharer never ran")
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package blt
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/uctx"
+)
+
+// IdlePolicy selects how an idle KC waits (paper §VI-C): spinning on a
+// flag, or blocked on a futex-based semaphore.
+type IdlePolicy int
+
+// Idle policies.
+const (
+	BusyWait IdlePolicy = iota
+	Blocking
+)
+
+// String implements fmt.Stringer.
+func (p IdlePolicy) String() string {
+	if p == Blocking {
+		return "BLOCKING"
+	}
+	return "BUSYWAIT"
+}
+
+// Config describes a BLT pool, mirroring the paper's Fig. 6 scenario:
+// CPU cores divided into a program partition (running scheduler BLTs
+// that execute decoupled UCs) and a system-call partition (hosting the
+// original KCs).
+type Config struct {
+	// ProgCores are the cores running user code (one scheduler each).
+	ProgCores []int
+	// SyscallCores host original KCs; assigned round-robin. A syscall
+	// core may hold more than one KC.
+	SyscallCores []int
+	// Idle selects the KC idle policy.
+	Idle IdlePolicy
+	// SwitchTLS enables ULP semantics: schedulers load the TLS register
+	// on every UC switch. Disable for plain-ULT behaviour (the paper:
+	// "most ULT implementations ignore TLS variables whereas ULP
+	// cannot").
+	SwitchTLS bool
+	// StartDecoupled makes every BLT decouple before running its body
+	// (the Fig. 6 deployment). When false, BLTs start as pure KLTs and
+	// decouple explicitly.
+	StartDecoupled bool
+	// WorkStealing lets an idle scheduler steal ready UCs from peer
+	// schedulers' queues before idling — interprocess work stealing
+	// made trivial by the shared address space (Ouyang et al., SC'19
+	// poster, cited in the paper's related work).
+	WorkStealing bool
+	// SwitchSigmask enables ucontext-style switching (paper §VII): the
+	// scheduler saves/restores the signal mask on every UC switch,
+	// paying the machine's SigmaskSwitch cost. fcontext (the default)
+	// skips this, which is faster but delivers signals to the
+	// scheduling KC's disposition.
+	SwitchSigmask bool
+	// CloneFlags used to create original KCs from the creator task.
+	// Defaults to kernel.PiPProcessFlags (ULP: each BLT is a process).
+	CloneFlags kernel.CloneFlags
+}
+
+// trace emits a BLT-protocol event into the engine tracer (if any) —
+// used to validate the Table I sequence in tests and to debug schedules
+// via ulpsim -trace.
+func (p *Pool) trace(format string, args ...interface{}) {
+	if tr := p.kern.Engine().Tracer(); tr != nil {
+		tr.Add(p.kern.Engine().Now(), "blt", format, args...)
+	}
+}
+
+// Pool manages scheduler BLTs and the BLTs they run.
+type Pool struct {
+	kern    *kernel.Kernel
+	creator *kernel.Task
+	cfg     Config
+
+	scheds    []*Scheduler
+	nextSched int
+	nextSC    int
+	blts      []*BLT
+	hosts     []*KCHost
+
+	stopped bool
+}
+
+// NewPool creates the schedulers (one kernel thread pinned to each
+// program core, cloned from creator) and returns the pool. The creator
+// task pays the thread-creation costs.
+func NewPool(creator *kernel.Task, cfg Config) (*Pool, error) {
+	if len(cfg.ProgCores) == 0 {
+		return nil, fmt.Errorf("blt: config needs at least one program core")
+	}
+	if len(cfg.SyscallCores) == 0 {
+		return nil, fmt.Errorf("blt: config needs at least one syscall core")
+	}
+	if cfg.CloneFlags == 0 {
+		cfg.CloneFlags = kernel.PiPProcessFlags
+	}
+	p := &Pool{kern: creator.Kernel(), creator: creator, cfg: cfg}
+	for i, core := range cfg.ProgCores {
+		s := &Scheduler{pool: p, core: core, index: i}
+		if err := s.slot.init(p, creator); err != nil {
+			return nil, err
+		}
+		s.task = creator.ClonePinned(fmt.Sprintf("sched.c%d", core), kernel.PThreadFlags, core, s.loop)
+		p.scheds = append(p.scheds, s)
+	}
+	return p, nil
+}
+
+// Config returns the pool's configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Kernel returns the kernel the pool runs on.
+func (p *Pool) Kernel() *kernel.Kernel { return p.kern }
+
+// Schedulers returns the scheduler list (one per program core).
+func (p *Pool) Schedulers() []*Scheduler {
+	out := make([]*Scheduler, len(p.scheds))
+	copy(out, p.scheds)
+	return out
+}
+
+// BLTs returns all spawned BLTs in creation order.
+func (p *Pool) BLTs() []*BLT {
+	out := make([]*BLT, len(p.blts))
+	copy(out, p.blts)
+	return out
+}
+
+// DefaultStackBytes is the default UC stack reservation (demand-paged
+// in the shared address space; PiP tasks default to megabyte stacks).
+const DefaultStackBytes = 1 << 20
+
+// TrampolineStackBytes is the TC stack reservation — "the stack region
+// of a trampoline context can be very small" (§V-A).
+const TrampolineStackBytes = 4 << 10
+
+// SpawnOpts parameterizes Spawn.
+type SpawnOpts struct {
+	Name    string
+	TLSBase uint64 // thread-descriptor address for ULP TLS switching
+	// StackBytes reserves the UC stack in the shared address space
+	// (0 = DefaultStackBytes). The reservation is demand-paged.
+	StackBytes uint64
+	// Host, when non-nil, attaches the new BLT to an existing original
+	// KC (the §VII M:N extension: UCs with the same original KC share
+	// kernel state thread-style). Nil creates a fresh KC (N:N).
+	Host *KCHost
+	// Scheduler pins the BLT's home scheduler index; -1 (or 0 value
+	// with one scheduler) assigns round-robin.
+	Scheduler int
+}
+
+// Spawn creates a BLT running body. Per the paper, a BLT is created *as
+// a KLT*: a fresh UC paired with a fresh original KC (unless opts.Host
+// reuses one). The creator task pays the clone cost. The returned BLT's
+// termination is observed via the kernel: wait() on the pool's creator
+// reaps process-mode KCs.
+func (p *Pool) Spawn(body Body, opts SpawnOpts) (*BLT, error) {
+	if p.stopped {
+		return nil, ErrPoolStopped
+	}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("blt%d", len(p.blts))
+	}
+	home := p.scheds[p.nextSched%len(p.scheds)]
+	if opts.Scheduler >= 0 && opts.Scheduler < len(p.scheds) {
+		home = p.scheds[opts.Scheduler]
+	} else {
+		p.nextSched++
+	}
+	b := &BLT{
+		pool:    p,
+		name:    opts.Name,
+		home:    home,
+		tlsBase: opts.TLSBase,
+		body:    body,
+	}
+	// Reserve the UC stack in the shared address space: decoupled UCs
+	// run on whatever KC schedules them, so the stack must be visible
+	// everywhere — trivially true under address-space sharing.
+	stackBytes := opts.StackBytes
+	if stackBytes == 0 {
+		stackBytes = DefaultStackBytes
+	}
+	stack, err := p.creator.Space().Mmap(stackBytes, semProt,
+		opts.Name+".stack", false, nil)
+	if err != nil {
+		return nil, err
+	}
+	b.stackAddr, b.stackSize = stack, stackBytes
+	b.uc = uctx.New(opts.Name, b.ucBody)
+
+	host := opts.Host
+	if host == nil {
+		var err error
+		host, err = p.newHost(opts.Name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b.host = host
+	if err := host.adopt(b, p.creator); err != nil {
+		return nil, err
+	}
+	p.blts = append(p.blts, b)
+	return b, nil
+}
+
+func (p *Pool) newHost(name string) (*KCHost, error) {
+	core := p.cfg.SyscallCores[p.nextSC%len(p.cfg.SyscallCores)]
+	p.nextSC++
+	h := &KCHost{pool: p}
+	if err := h.slot.init(p, p.creator); err != nil {
+		return nil, err
+	}
+	// The trampoline context gets its own (small) stack.
+	tcStack, err := p.creator.Space().Mmap(TrampolineStackBytes, semProt,
+		"tc."+name+".stack", false, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.tcStack = tcStack
+	h.tc = uctx.New("tc."+name, h.tcBody)
+	h.task = p.creator.ClonePinned("kc."+name, p.cfg.CloneFlags, core, h.main)
+	p.hosts = append(p.hosts, h)
+	return h, nil
+}
+
+// Shutdown stops all schedulers; call it (from any running task) after
+// every BLT has terminated so the engine can drain. Idempotent.
+func (p *Pool) Shutdown(t *kernel.Task) {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	for _, s := range p.scheds {
+		s.slot.kick(t)
+	}
+}
+
+// Stopped reports whether Shutdown ran.
+func (p *Pool) Stopped() bool { return p.stopped }
+
+// idleSlot implements the two idle policies over a futex word in the
+// creator's address space.
+type idleSlot struct {
+	pool     *Pool
+	word     uint64
+	sleeping bool
+
+	// spun accumulates CPU time burned busy-waiting — the power proxy
+	// of the idle-policy ablation (§VII: "busy-waiting consumes more
+	// power").
+	spun sim.Duration
+}
+
+func (s *idleSlot) init(p *Pool, creator *kernel.Task) error {
+	s.pool = p
+	addr, err := creator.Space().Mmap(8, semProt, "blt.idle", true, nil)
+	if err != nil {
+		return err
+	}
+	s.word = addr
+	return nil
+}
+
+// wait idles the task until cond() holds, per the pool's policy.
+func (s *idleSlot) wait(t *kernel.Task, cond func() bool) {
+	costs := s.pool.kern.Machine().Costs
+	if s.pool.cfg.Idle == BusyWait {
+		// Table I Seq.7: the idle KC "[yield or suspend]"s — each poll
+		// period ends in a sched_yield so that several busy-waiting
+		// KCs can share one syscall core (Fig. 6: "a CPU core for
+		// executing system-calls may have more than one KCs").
+		poll := costs.SpinNotice - costs.SchedYieldNoSwitch
+		if poll < 0 {
+			poll = 0
+		}
+		for !cond() {
+			t.Charge(poll)
+			s.spun += poll
+			t.SchedYield()
+			s.spun += costs.SchedYieldNoSwitch
+		}
+		return
+	}
+	for !cond() {
+		s.sleeping = true
+		err := t.FutexWait(s.word, 0)
+		s.sleeping = false
+		if err != nil && err != kernel.ErrFutexAgain {
+			panic(fmt.Sprintf("blt: idle futex: %v", err))
+		}
+		// Consume the kick so the next wait sleeps again.
+		t.Space().WriteU64(s.word, 0, nil)
+	}
+}
+
+// kick makes a sleeping waiter re-check its condition. The caller pays
+// the wake cost (an atomic store under BUSYWAIT, futex syscall under
+// BLOCKING).
+func (s *idleSlot) kick(t *kernel.Task) {
+	costs := s.pool.kern.Machine().Costs
+	if s.pool.cfg.Idle == BusyWait {
+		t.Charge(costs.AtomicOp)
+		return
+	}
+	t.Space().WriteU64(s.word, 1, nil)
+	t.FutexWake(s.word, 1)
+}
+
+// Spun reports the time burned busy-waiting on this slot.
+func (s *idleSlot) Spun() sim.Duration { return s.spun }

@@ -1,0 +1,229 @@
+package blt
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/uctx"
+)
+
+// simDuration aliases sim.Duration for intra-package signatures.
+type simDuration = sim.Duration
+
+// Scheduler is one scheduling BLT: a kernel thread pinned to a program
+// core that runs decoupled UCs from its ready queue (the paper's Fig. 6:
+// "BLTs are created to run user program and to act as a scheduler").
+type Scheduler struct {
+	pool *Pool
+	core int
+	task *kernel.Task
+
+	q    []*BLT
+	slot idleSlot
+
+	// currentTLS tracks the TLS value the scheduler's KC register holds
+	// to skip redundant loads when the same UC runs back-to-back.
+	currentTLS uint64
+
+	// running is the BLT whose UC the scheduler is currently stepping
+	// (nil between dispatches). The consistency auditor uses it to
+	// attribute system-calls made by decoupled UCs.
+	running *BLT
+
+	index int // position in the pool's scheduler list
+
+	// Stats.
+	dispatches uint64
+	steals     uint64
+}
+
+// Steals reports how many UCs this scheduler stole from peers.
+func (s *Scheduler) Steals() uint64 { return s.steals }
+
+// Running returns the BLT currently executing on this scheduler, if any.
+func (s *Scheduler) Running() *BLT { return s.running }
+
+// Core returns the scheduler's pinned core id.
+func (s *Scheduler) Core() int { return s.core }
+
+// Task returns the scheduler's kernel task.
+func (s *Scheduler) Task() *kernel.Task { return s.task }
+
+// QueueLen reports the number of ready UCs.
+func (s *Scheduler) QueueLen() int { return len(s.q) }
+
+// Dispatches reports how many UC switch-ins the scheduler performed.
+func (s *Scheduler) Dispatches() uint64 { return s.dispatches }
+
+// SpunIdle reports CPU time burned busy-waiting for work.
+func (s *Scheduler) SpunIdle() sim.Duration { return s.slot.Spun() }
+
+// enqueue adds a decoupled (or yielding) UC to the ready queue; the
+// caller pays the queue cost and the wake kick. Under work stealing
+// every scheduler is kicked, since any of them may claim the UC.
+func (s *Scheduler) enqueue(b *BLT, from *kernel.Task) {
+	from.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
+	s.q = append(s.q, b)
+	if s.pool.cfg.WorkStealing {
+		for _, p := range s.pool.scheds {
+			p.slot.kick(from)
+		}
+		return
+	}
+	s.slot.kick(from)
+}
+
+// dequeue pops the local queue head. Charging the queue-lock cost may
+// let a stealing peer drain the queue first, so the emptiness is
+// re-checked after the charge; nil means "lost the race".
+func (s *Scheduler) dequeue(t *kernel.Task) *BLT {
+	t.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
+	if len(s.q) == 0 {
+		return nil
+	}
+	b := s.q[0]
+	copy(s.q, s.q[1:])
+	s.q[len(s.q)-1] = nil
+	s.q = s.q[:len(s.q)-1]
+	return b
+}
+
+// loop is the scheduler's kernel-task body.
+func (s *Scheduler) loop(t *kernel.Task) int {
+	costs := s.pool.kern.Machine().Costs
+	for {
+		b := s.acquire(t)
+		if b == nil {
+			return 0
+		}
+		s.runUC(t, b, costs.UserCtxSwap)
+	}
+}
+
+// acquire obtains the next runnable BLT: from the local queue, by
+// stealing from a peer scheduler (when Config.WorkStealing is on), or
+// after idling per the pool policy. Returns nil once the pool stops.
+func (s *Scheduler) acquire(t *kernel.Task) *BLT {
+	for {
+		if len(s.q) > 0 {
+			if b := s.dequeue(t); b != nil {
+				return b
+			}
+			continue
+		}
+		if s.pool.stopped {
+			return nil
+		}
+		if s.pool.cfg.WorkStealing {
+			if b := s.steal(t); b != nil {
+				return b
+			}
+		}
+		s.slot.wait(t, func() bool { return len(s.q) > 0 || s.pool.stopped || s.stealable() })
+	}
+}
+
+// stealable reports whether some peer has surplus work.
+func (s *Scheduler) stealable() bool {
+	if !s.pool.cfg.WorkStealing {
+		return false
+	}
+	for _, p := range s.pool.scheds {
+		if p != s && len(p.q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// steal takes the newest UC from the first non-empty peer queue,
+// scanning deterministically from the next index (interprocess work
+// stealing over the shared address space: the queues are plain shared
+// data, so a steal is two queue operations plus the peer-lock atomic).
+func (s *Scheduler) steal(t *kernel.Task) *BLT {
+	costs := s.pool.kern.Machine().Costs
+	n := len(s.pool.scheds)
+	for i := 1; i < n; i++ {
+		p := s.pool.scheds[(s.index+i)%n]
+		if len(p.q) == 0 {
+			continue
+		}
+		t.Charge(costs.AtomicOp + 2*costs.RunQueueOp)
+		if len(p.q) == 0 {
+			continue // the victim (or another thief) won the race
+		}
+		b := p.q[len(p.q)-1]
+		p.q[len(p.q)-1] = nil
+		p.q = p.q[:len(p.q)-1]
+		s.steals++
+		return b
+	}
+	return nil
+}
+
+// runUC switches the UC in (swap + TLS load under ULP semantics), steps
+// it, and handles its yield.
+func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
+	costs := s.pool.kern.Machine().Costs
+	t.Charge(swapCost)
+	s.loadTLS(t, b.tlsBase)
+	if s.pool.cfg.SwitchSigmask {
+		// ucontext-style switching: the signal mask follows the UC.
+		t.Charge(costs.SigmaskSwitch)
+		t.SetSigmaskRaw(b.sigMask)
+	}
+	// Sync point 2 (Table I Seq.8/9): the UC was enqueued before its
+	// context finished saving on the original KC; tight-spin until the
+	// save is published (the window is a few instructions).
+	for !b.ucSaved {
+		t.Charge(costs.AtomicOp)
+	}
+	if b.uc.Running() {
+		panic(fmt.Sprintf("blt: %s marked saved but still running", b))
+	}
+	s.dispatches++
+	s.pool.trace("sched%d: swap_ctx(.., %s)", s.index, b.name) // Seq.9 after decouple
+	s.running = b
+	ev := b.uc.Step(t)
+	s.running = nil
+	if ev.Kind == uctx.EvExit {
+		panic(fmt.Sprintf("blt: %s exited while decoupled; BLTs must terminate as KLTs", b))
+	}
+	switch tg := ev.Tag.(yieldTag); tg {
+	case tagYield:
+		// Cooperative ULT yield: requeue at the tail. If the queue was
+		// otherwise empty the same UC runs again immediately (the
+		// sched_yield-alone analogue at user level).
+		t.Charge(costs.RunQueueOp)
+		s.q = append(s.q, b)
+	case tagCoupling:
+		// Sync point 1 of Table I: publish that the UC context is
+		// saved so the original KC may load it. The scheduler then
+		// resumes its own context (swap + its own TLS), accounting for
+		// the paper's "two times of loading TLS register" per
+		// couple/decouple cycle.
+		b.ucSaved = true
+		s.pool.trace("sched%d: %s saved (sync point 1)", s.index, b.name) // Seq.3
+		t.Charge(costs.UserCtxSwap)
+		s.loadTLS(t, s.slot.word) // the scheduler thread's own descriptor
+		if s.pool.cfg.SwitchSigmask {
+			t.Charge(costs.SigmaskSwitch)
+			t.SetSigmaskRaw(0)
+		}
+	case tagDecouple:
+		panic(fmt.Sprintf("blt: decouple tag from already-decoupled %s", b))
+	default:
+		panic(fmt.Sprintf("blt: unknown tag %v from %s", tg, b))
+	}
+}
+
+// loadTLS loads the KC's TLS register if ULP semantics are enabled and
+// the value actually changes.
+func (s *Scheduler) loadTLS(t *kernel.Task, base uint64) {
+	if !s.pool.cfg.SwitchTLS || base == s.currentTLS {
+		return
+	}
+	t.LoadTLS(base)
+	s.currentTLS = base
+}

@@ -1,0 +1,131 @@
+package blt
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func stealConfig(idle IdlePolicy) Config {
+	cfg := testConfig(idle)
+	cfg.WorkStealing = true
+	return cfg
+}
+
+func TestWorkStealingBalancesLoad(t *testing.T) {
+	// All BLTs homed on scheduler 0; with stealing on, scheduler 1 must
+	// pick up part of the work.
+	for _, idle := range []IdlePolicy{BusyWait, Blocking} {
+		idle := idle
+		t.Run(idle.String(), func(t *testing.T) {
+			runPool(t, arch.Wallaby(), stealConfig(idle), func(root *kernel.Task, p *Pool) {
+				const n = 6
+				for i := 0; i < n; i++ {
+					p.Spawn(func(b *BLT) int {
+						b.Decouple()
+						for j := 0; j < 4; j++ {
+							b.Carrier().Compute(10 * sim.Microsecond)
+							b.Yield()
+						}
+						b.Couple()
+						return 0
+					}, SpawnOpts{Name: "w", Scheduler: 0}) // all homed on sched 0
+				}
+				reap(t, root, n)
+				s0, s1 := p.Schedulers()[0], p.Schedulers()[1]
+				if s1.Dispatches() == 0 {
+					t.Error("scheduler 1 never ran stolen work")
+				}
+				if s1.Steals() == 0 {
+					t.Error("scheduler 1 recorded no steals")
+				}
+				if s0.Dispatches() == 0 {
+					t.Error("scheduler 0 idle despite being home")
+				}
+			})
+		})
+	}
+}
+
+func TestWorkStealingImprovesMakespan(t *testing.T) {
+	measure := func(stealing bool) sim.Duration {
+		var makespan sim.Duration
+		cfg := testConfig(BusyWait)
+		cfg.WorkStealing = stealing
+		runPool(t, arch.Wallaby(), cfg, func(root *kernel.Task, p *Pool) {
+			e := p.Kernel().Engine()
+			start := e.Now()
+			const n = 8
+			for i := 0; i < n; i++ {
+				p.Spawn(func(b *BLT) int {
+					b.Decouple()
+					for j := 0; j < 4; j++ {
+						b.Carrier().Compute(20 * sim.Microsecond)
+						b.Yield()
+					}
+					b.Couple()
+					return 0
+				}, SpawnOpts{Name: "w", Scheduler: 0}) // imbalanced placement
+			}
+			reap(t, root, n)
+			makespan = e.Now().Sub(start)
+		})
+		return makespan
+	}
+	without := measure(false)
+	with := measure(true)
+	// Two program cores, all work homed on one: stealing should give a
+	// substantial speedup (ideally ~2x; require >= 1.3x).
+	if float64(with)*1.3 > float64(without) {
+		t.Errorf("stealing makespan %v not much better than without %v", with, without)
+	}
+}
+
+func TestStealingPreservesConsistency(t *testing.T) {
+	runPool(t, arch.Wallaby(), stealConfig(BusyWait), func(root *kernel.Task, p *Pool) {
+		bad := 0
+		const n = 6
+		for i := 0; i < n; i++ {
+			p.Spawn(func(b *BLT) int {
+				b.Decouple()
+				for j := 0; j < 3; j++ {
+					b.Exec(func(kc *kernel.Task) {
+						if kc.Getpid() != b.KC().TGID() {
+							bad++
+						}
+					})
+					b.Yield()
+				}
+				b.Couple()
+				return 0
+			}, SpawnOpts{Name: "c", Scheduler: 0})
+		}
+		reap(t, root, n)
+		if bad != 0 {
+			t.Errorf("%d inconsistent syscalls under work stealing", bad)
+		}
+	})
+}
+
+func TestNoStealingWhenDisabled(t *testing.T) {
+	runPool(t, arch.Wallaby(), testConfig(BusyWait), func(root *kernel.Task, p *Pool) {
+		const n = 4
+		for i := 0; i < n; i++ {
+			p.Spawn(func(b *BLT) int {
+				b.Decouple()
+				b.Yield()
+				b.Couple()
+				return 0
+			}, SpawnOpts{Name: "w", Scheduler: 0})
+		}
+		reap(t, root, n)
+		if got := p.Schedulers()[1].Steals(); got != 0 {
+			t.Errorf("steals = %d with stealing disabled", got)
+		}
+		if got := p.Schedulers()[1].Dispatches(); got != 0 {
+			t.Errorf("scheduler 1 dispatched %d UCs homed elsewhere", got)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package blt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// TestTableISequence captures the protocol trace of one bracketed
+// system-call from a decoupled BLT and validates that the events occur
+// in exactly the order of the paper's Table I:
+//
+//	Seq.1/2  couple(): enqueue(UC0, KC0) + unblock(KC0)
+//	Seq.3    KC1: swap_ctx(UC0, UCi) — and publishes "saved"
+//	Seq.3'   KC0: dequeue(UC0)
+//	Seq.4    KC0: swap_ctx(TC0, UC0)
+//	Seq.5    system_call()            (not traced; between 4 and 6)
+//	Seq.6    decouple(): enqueue(UC0, KC1)
+//	Seq.7    KC0: swap_ctx(UC0, TC0)
+//	Seq.8    KC0: saved + blocks on TC
+//	Seq.9    KC1: swap_ctx(UCi, UC0)
+func TestTableISequence(t *testing.T) {
+	e := sim.New()
+	tr := sim.NewTracer(0)
+	e.SetTracer(tr)
+	k := kernel.New(e, arch.Wallaby())
+	root := k.NewTask("root", k.NewAddressSpace(), func(task *kernel.Task) int {
+		pool, err := NewPool(task, testConfig(BusyWait))
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		pool.Spawn(func(b *BLT) int {
+			b.Decouple()
+			b.Exec(func(kc *kernel.Task) { kc.Getpid() })
+			b.Couple()
+			return 0
+		}, SpawnOpts{Name: "UC0", Scheduler: 0})
+		task.Wait()
+		pool.Shutdown(task)
+		return 0
+	})
+	k.Start(root, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	// Collect the protocol events of the Exec bracket: everything
+	// between the second "couple:" (the Exec's, after the initial
+	// decouple) and the following scheduler resume.
+	var protocol []string
+	for _, ev := range tr.Events() {
+		if ev.Kind == "blt" {
+			protocol = append(protocol, ev.Msg)
+		}
+	}
+	// Find the Exec bracket: the first "couple: enqueue" marks Seq.1.
+	start := -1
+	for i, msg := range protocol {
+		if strings.HasPrefix(msg, "couple: enqueue") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("no couple event in protocol trace: %v", protocol)
+	}
+	want := []string{
+		"couple: enqueue(UC0, KC) + unblock(KC)", // Seq.1 + Seq.2
+		"couple: swap_ctx(UC0, next-UC)",         // Seq.3 (UC side)
+		"sched0: UC0 saved (sync point 1)",       // Seq.3 (publish)
+		"kc: dequeue(UC0)",                       // Seq.3'
+		"kc: swap_ctx(TC, UC0)",                  // Seq.4
+		"decouple: enqueue(UC0, sched0)",         // Seq.6 (Seq.5 between)
+		"decouple: swap_ctx(UC0, TC)",            // Seq.7
+		"kc: UC0 saved; blocking on TC",          // Seq.8
+		"sched0: swap_ctx(.., UC0)",              // Seq.9
+	}
+	got := protocol[start:]
+	if len(got) < len(want) {
+		t.Fatalf("protocol too short:\n%s", strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("Table I step %d = %q, want %q\nfull trace:\n%s",
+				i, got[i], w, strings.Join(got, "\n"))
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package core is the ULP-PiP runtime — the paper's primary
+// contribution assembled from its substrates: User-Level Processes built
+// by combining Bi-Level Threads (internal/blt) with PiP-style
+// address-space sharing (internal/pip, internal/loader).
+//
+// A ULP is a PiP process (own PID, FD table, signal disposition, TLS
+// block, privatized variables in the shared address space) whose
+// execution context is a BLT: it is scheduled at user level like a ULT,
+// and it preserves system-call consistency by coupling with its original
+// kernel context around system-calls. The runtime also provides the
+// consistency *auditor* that proves the property: every audited
+// system-call issued inside a Consistent()/Exec() bracket is executed by
+// the ULP's own kernel context.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blt"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/sim"
+)
+
+// ErrNoULP is returned when an unknown ULP is referenced.
+var ErrNoULP = errors.New("core: no such ULP")
+
+// SignalMode selects how context switching treats signal state
+// (paper §VII, "Discussion"): fcontext does not save/restore signal
+// masks (fast, but signals land on the scheduling KC); ucontext does,
+// at an extra system-call per switch.
+type SignalMode int
+
+// Signal modes.
+const (
+	FcontextMode SignalMode = iota
+	UcontextMode
+)
+
+// String implements fmt.Stringer.
+func (m SignalMode) String() string {
+	if m == UcontextMode {
+		return "ucontext"
+	}
+	return "fcontext"
+}
+
+// Config describes a ULP-PiP runtime deployment (the paper's Fig. 6):
+// program cores run scheduler BLTs; syscall cores host original KCs.
+type Config struct {
+	ProgCores    []int
+	SyscallCores []int
+	Idle         blt.IdlePolicy
+	Signals      SignalMode
+	// Audit verifies system-call consistency at runtime: system-calls
+	// made by ULP code outside a coupled section are recorded as
+	// violations.
+	Audit bool
+	// WorkStealing lets idle schedulers steal ready ULPs from peers
+	// (see blt.Config.WorkStealing).
+	WorkStealing bool
+	// PreemptQuantum, when nonzero, bounds how long a decoupled ULP may
+	// compute before the runtime forces a user-level yield — Shinjuku-
+	// style preemptive ULT scheduling (cited in the paper's related
+	// work: "Shinjuku supports preemptive scheduling for ULTs").
+	// Computation through Env.Compute is sliced at this granularity.
+	PreemptQuantum sim.Duration
+}
+
+// Violation records a system-call issued by a decoupled ULP — i.e. one
+// that executed on the wrong kernel context.
+type Violation struct {
+	ULP     string
+	Syscall string
+	PID     int // the foreign (scheduling) KC's pid that executed it
+}
+
+// Runtime is a live ULP-PiP instance inside a PiP root process.
+type Runtime struct {
+	kern    *kernel.Kernel
+	rootTsk *kernel.Task
+	ld      *loader.Loader
+	pool    *blt.Pool
+	cfg     Config
+
+	ulps       []*ULP
+	violations []Violation
+	exports    map[string]uint64
+}
+
+// Boot creates the PiP root process and the BLT pool inside it, then
+// runs main with the ready runtime. The returned kernel task is the
+// root; the simulation ends when main returns (after it has reaped its
+// ULPs and shut the pool down — Runtime.WaitAll + Shutdown do this).
+func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) *kernel.Task {
+	space := k.NewAddressSpace()
+	c := k.Machine().Costs
+	ld := loader.New(space, loader.Costs{DlmopenBase: c.DlmopenBase, DlmopenPerSym: c.DlmopenPerSym})
+	rt := &Runtime{kern: k, ld: ld, cfg: cfg, exports: make(map[string]uint64)}
+	task := k.NewTask("ulp-root", space, func(t *kernel.Task) int {
+		rt.rootTsk = t
+		pool, err := blt.NewPool(t, blt.Config{
+			ProgCores:      cfg.ProgCores,
+			SyscallCores:   cfg.SyscallCores,
+			Idle:           cfg.Idle,
+			SwitchTLS:      true, // ULPs always switch TLS (§V-B)
+			SwitchSigmask:  cfg.Signals == UcontextMode,
+			WorkStealing:   cfg.WorkStealing,
+			CloneFlags:     kernel.PiPProcessFlags,
+			StartDecoupled: false,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: pool: %v", err))
+		}
+		rt.pool = pool
+		if cfg.Audit {
+			rt.installAuditor()
+		}
+		defer k.SetAuditor(nil)
+		return main(rt)
+	})
+	k.Start(task, 0)
+	return task
+}
+
+// Kernel returns the kernel the runtime runs on.
+func (rt *Runtime) Kernel() *kernel.Kernel { return rt.kern }
+
+// RootTask returns the PiP root's kernel task.
+func (rt *Runtime) RootTask() *kernel.Task { return rt.rootTsk }
+
+// Pool returns the underlying BLT pool.
+func (rt *Runtime) Pool() *blt.Pool { return rt.pool }
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ULPs returns spawned ULPs in rank order.
+func (rt *Runtime) ULPs() []*ULP {
+	out := make([]*ULP, len(rt.ulps))
+	copy(out, rt.ulps)
+	return out
+}
+
+// Violations returns recorded system-call consistency violations.
+func (rt *Runtime) Violations() []Violation {
+	out := make([]Violation, len(rt.violations))
+	copy(out, rt.violations)
+	return out
+}
+
+// auditedSyscalls are the system-calls whose result depends on
+// per-process kernel state — the calls that must be coupled.
+var auditedSyscalls = map[string]bool{
+	"getpid": true, "gettid": true, "open": true, "read": true,
+	"write": true, "close": true, "lseek": true, "unlink": true,
+	"wait": true, "kill": true, "sigaction": true, "sigprocmask": true,
+}
+
+// installAuditor hooks the kernel's system-call path: any audited call
+// executed by a scheduler KC while it is stepping a decoupled UC is a
+// consistency violation (the call hit the scheduler's kernel state, not
+// the ULP's).
+func (rt *Runtime) installAuditor() {
+	scheds := rt.pool.Schedulers()
+	rt.kern.SetAuditor(func(t *kernel.Task, name string) {
+		if !auditedSyscalls[name] {
+			return
+		}
+		for _, s := range scheds {
+			if s.Task() == t {
+				if b := s.Running(); b != nil {
+					rt.violations = append(rt.violations, Violation{
+						ULP: b.Name(), Syscall: name, PID: t.TGID(),
+					})
+				}
+				return
+			}
+		}
+	})
+}
+
+// ULP is one user-level process.
+type ULP struct {
+	rt      *Runtime
+	Rank    int
+	Linked  *loader.Linked
+	TLSBase uint64
+	b       *blt.BLT
+}
+
+// BLT returns the ULP's bi-level thread.
+func (u *ULP) BLT() *blt.BLT { return u.b }
+
+// KC returns the ULP's original kernel context.
+func (u *ULP) KC() *kernel.Task { return u.b.KC() }
+
+// Name returns the ULP's diagnostic name.
+func (u *ULP) Name() string { return u.b.Name() }
+
+// Done reports whether the ULP terminated.
+func (u *ULP) Done() bool { return u.b.Done() }
+
+// ExitStatus returns the ULP's exit status (valid once Done).
+func (u *ULP) ExitStatus() int { return u.b.ExitStatus() }
+
+// SpawnOpts parameterizes Spawn.
+type SpawnOpts struct {
+	Name      string
+	Arg       interface{}
+	Scheduler int // home scheduler index; -1 for round-robin
+	// ShareKCWith attaches this ULP to an existing ULP's original KC
+	// (the §VII M:N extension); they then share kernel state.
+	ShareKCWith *ULP
+	// StartDecoupled decouples before Main runs (Fig. 6 deployment).
+	StartDecoupled bool
+}
+
+// Spawn loads img under a fresh dlmopen namespace (privatizing its
+// variables), allocates its TLS block, and starts it as a ULP: a BLT
+// whose original KC is a PiP process-mode clone of the root. Must be
+// called from the root task's context.
+func (rt *Runtime) Spawn(img *loader.Image, opts SpawnOpts) (*ULP, error) {
+	linked, err := rt.ld.Dlmopen(img, taskCharger{rt.rootTsk})
+	if err != nil {
+		return nil, err
+	}
+	tlsBase, err := rt.ld.AllocTLSBlock(linked, taskCharger{rt.rootTsk})
+	if err != nil {
+		return nil, err
+	}
+	u := &ULP{rt: rt, Rank: len(rt.ulps), Linked: linked, TLSBase: tlsBase}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("%s.%d", img.Name, u.Rank)
+	}
+	var host *blt.KCHost
+	if opts.ShareKCWith != nil {
+		host = opts.ShareKCWith.b.Host()
+	}
+	b, err := rt.pool.Spawn(func(b *blt.BLT) int {
+		// The body may start before Spawn's caller resumes; bind the
+		// BLT handle here so Env methods work from the first line.
+		u.b = b
+		// "TLS register content is saved at the time of creation of a
+		// ULP": the original KC points at this ULP's descriptor once,
+		// up front, while coupled.
+		b.Carrier().LoadTLS(tlsBase)
+		if opts.StartDecoupled {
+			b.Decouple()
+		}
+		return img.Main(&Env{U: u, Arg: opts.Arg})
+	}, blt.SpawnOpts{Name: opts.Name, TLSBase: tlsBase, Host: host, Scheduler: opts.Scheduler})
+	if err != nil {
+		return nil, err
+	}
+	u.b = b
+	rt.ulps = append(rt.ulps, u)
+	return u, nil
+}
+
+// WaitAll reaps every distinct original KC via wait(2) and returns the
+// per-ULP exit statuses in rank order.
+func (rt *Runtime) WaitAll() ([]int, error) {
+	hosts := map[*blt.KCHost]bool{}
+	for _, u := range rt.ulps {
+		hosts[u.b.Host()] = true
+	}
+	for range hosts {
+		if _, _, err := rt.rootTsk.Wait(); err != nil {
+			return nil, err
+		}
+	}
+	statuses := make([]int, len(rt.ulps))
+	for i, u := range rt.ulps {
+		statuses[i] = u.ExitStatus()
+	}
+	return statuses, nil
+}
+
+// Shutdown stops the pool's schedulers. Call after WaitAll.
+func (rt *Runtime) Shutdown() { rt.pool.Shutdown(rt.rootTsk) }
+
+// taskCharger adapts a kernel task to mem/loader Charger.
+type taskCharger struct{ t *kernel.Task }
+
+// Charge implements the Charger interfaces.
+func (c taskCharger) Charge(d sim.Duration) { c.t.Charge(d) }
+
+// Env is the environment handle a ULP program's Main receives (as its
+// loader.MainFunc argument; type-assert to *core.Env).
+type Env struct {
+	U   *ULP
+	Arg interface{}
+}
+
+// Carrier returns the kernel context currently executing the ULP —
+// the original KC while coupled, a scheduler KC while decoupled.
+func (e *Env) Carrier() *kernel.Task { return e.U.b.Carrier() }
+
+// Couple attaches the ULP to its original KC (see blt.BLT.Couple).
+func (e *Env) Couple() { e.U.b.Couple() }
+
+// Decouple detaches the ULP from its original KC (see blt.BLT.Decouple).
+func (e *Env) Decouple() { e.U.b.Decouple() }
+
+// Coupled reports whether the ULP currently runs on its original KC.
+func (e *Env) Coupled() bool { return e.U.b.Coupled() }
+
+// Yield is the user-level yield between ULPs.
+func (e *Env) Yield() { e.U.b.Yield() }
+
+// Exec runs fn coupled to the original KC — the couple()/decouple()
+// bracket for a system-call or a series of system-calls.
+func (e *Env) Exec(fn func(kc *kernel.Task)) { e.U.b.Exec(fn) }
+
+// Getpid is a consistency-preserving getpid(): it couples, calls, and
+// restores the previous coupling state.
+func (e *Env) Getpid() (pid int) {
+	e.Exec(func(kc *kernel.Task) { pid = kc.Getpid() })
+	return pid
+}
+
+// GetpidRaw issues getpid() on whatever KC carries the ULP right now —
+// the paper's inconsistency example, kept for demonstration and tests.
+func (e *Env) GetpidRaw() int { return e.Carrier().Getpid() }
+
+// Open opens a file consistently (on the original KC).
+func (e *Env) Open(path string, flags fs.OpenFlags) (fd int, err error) {
+	e.Exec(func(kc *kernel.Task) { fd, err = kc.Open(path, flags) })
+	return fd, err
+}
+
+// Write writes to an fd consistently. remote is chosen by the runtime:
+// while the open-write-close executes on the dedicated syscall core, the
+// buffer streams from the program core (the Fig. 7 cache effect).
+func (e *Env) Write(fd int, data []byte) (n int, err error) {
+	e.Exec(func(kc *kernel.Task) { n, err = kc.Write(fd, data, true) })
+	return n, err
+}
+
+// Read reads from an fd consistently.
+func (e *Env) Read(fd int, buf []byte) (n int, err error) {
+	e.Exec(func(kc *kernel.Task) { n, err = kc.Read(fd, buf) })
+	return n, err
+}
+
+// Close closes an fd consistently.
+func (e *Env) Close(fd int) (err error) {
+	e.Exec(func(kc *kernel.Task) { err = kc.Close(fd) })
+	return err
+}
+
+// SymbolAddr resolves one of this ULP's privatized variables.
+func (e *Env) SymbolAddr(name string) (uint64, error) {
+	return e.U.Linked.SymbolAddr(name)
+}
+
+// Export publishes the address of one of this ULP's variables under a
+// global name (pip_export): everything in the shared address space is
+// "not shared but shareable", so another ULP can Import the address and
+// dereference it directly.
+func (e *Env) Export(global, symbol string) error {
+	addr, err := e.SymbolAddr(symbol)
+	if err != nil {
+		return err
+	}
+	e.U.rt.exports[global] = addr
+	return nil
+}
+
+// Import resolves an address another ULP exported (pip_import).
+func (e *Env) Import(global string) (uint64, error) {
+	addr, ok := e.U.rt.exports[global]
+	if !ok {
+		return 0, fmt.Errorf("core: no export named %q", global)
+	}
+	return addr, nil
+}
+
+// TLSAddr resolves one of this ULP's thread-local variables.
+func (e *Env) TLSAddr(name string) (uint64, error) {
+	off, ok := e.U.Linked.TLS().Offsets[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: TLS %s", loader.ErrNoSuchSymbol, name)
+	}
+	return e.U.TLSBase + off, nil
+}
+
+// MemRead reads the shared address space without a system-call.
+func (e *Env) MemRead(va uint64, buf []byte) error { return e.Carrier().MemRead(va, buf) }
+
+// MemWrite writes the shared address space without a system-call.
+func (e *Env) MemWrite(va uint64, data []byte) error { return e.Carrier().MemWrite(va, data) }
+
+// Compute burns pure user CPU time on the current carrier. When the
+// runtime has a preemption quantum and the ULP is decoupled, the burn is
+// sliced: every quantum the ULP takes a forced user-level yield, so one
+// compute-bound ULP cannot monopolize a program core (the Shinjuku-style
+// preemption of Config.PreemptQuantum). Coupled code is never preempted
+// — it is a KLT, subject only to the kernel.
+func (e *Env) Compute(d sim.Duration) {
+	q := e.U.rt.cfg.PreemptQuantum
+	if q <= 0 || e.Coupled() {
+		e.Carrier().Compute(d)
+		return
+	}
+	for d > 0 {
+		slice := d
+		if slice > q {
+			slice = q
+		}
+		e.Carrier().Compute(slice)
+		d -= slice
+		if d > 0 {
+			e.U.b.Yield() // preemption point
+		}
+	}
+}
+
+// SetSigMask sets the ULP's signal mask. Under ucontext-mode switching
+// the mask follows the UC between kernel contexts; under fcontext it
+// only applies while coupled.
+func (e *Env) SetSigMask(mask uint64) {
+	e.U.b.SetSigMask(mask)
+	if e.Coupled() || e.U.rt.cfg.Signals == UcontextMode {
+		e.Carrier().SetSigmaskRaw(mask)
+	}
+}
+
+// SignalULP sends a signal aimed at a ULP. With fcontext switching the
+// kernel cannot tell UCs apart, so the signal lands on whatever KC
+// currently carries the UC — the scheduler's disposition if decoupled
+// (the §VII caveat). The sender task pays the kill(2) cost.
+func (rt *Runtime) SignalULP(sender *kernel.Task, u *ULP, sig int) error {
+	target := u.KC()
+	if !u.b.Coupled() {
+		// Decoupled: the signal goes to the carrier. Find it: the
+		// home scheduler if running there, else the KC (queued/idle).
+		for _, s := range rt.pool.Schedulers() {
+			if s.Running() == u.b {
+				target = s.Task()
+				break
+			}
+		}
+		if rt.cfg.Signals == FcontextMode && target == u.KC() {
+			// Queued UC: a terminal-originated signal to the "process"
+			// still reaches the KC's disposition; that part is safe.
+			target = u.KC()
+		}
+	}
+	return sender.Kill(target.PID(), sig)
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import "repro/internal/fs"
+
+// FDTable maps small-integer file descriptors to open file descriptions.
+// Whether a table is shared between tasks is decided by CloneFiles — this
+// is exactly the per-process kernel state whose consistency the ULP layer
+// must preserve: "the opened file descriptor is only valid if the KC
+// calling open() and the KC calling read() are the same".
+type FDTable struct {
+	files map[int]*fs.File
+	next  int
+}
+
+// firstUserFD is the lowest fd handed out (0-2 are reserved for the
+// standard streams, which the simulation does not model).
+const firstUserFD = 3
+
+// NewFDTable creates an empty descriptor table.
+func NewFDTable() *FDTable {
+	return &FDTable{files: make(map[int]*fs.File), next: firstUserFD}
+}
+
+// Alloc installs a file at the lowest free descriptor and returns it.
+func (ft *FDTable) Alloc(f *fs.File) int {
+	fd := firstUserFD
+	for ft.files[fd] != nil {
+		fd++
+	}
+	ft.files[fd] = f
+	return fd
+}
+
+// Get resolves a descriptor.
+func (ft *FDTable) Get(fd int) (*fs.File, error) {
+	f := ft.files[fd]
+	if f == nil {
+		return nil, ErrBadFD
+	}
+	return f, nil
+}
+
+// Remove releases a descriptor, returning the file (the caller closes
+// it).
+func (ft *FDTable) Remove(fd int) (*fs.File, error) {
+	f := ft.files[fd]
+	if f == nil {
+		return nil, ErrBadFD
+	}
+	delete(ft.files, fd)
+	return f, nil
+}
+
+// Copy duplicates the table (fork-style: same open descriptions, new
+// table).
+func (ft *FDTable) Copy() *FDTable {
+	cp := NewFDTable()
+	for fd, f := range ft.files {
+		cp.files[fd] = f
+	}
+	return cp
+}
+
+// Len reports the number of open descriptors.
+func (ft *FDTable) Len() int { return len(ft.files) }

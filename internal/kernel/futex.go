@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// futexKey identifies one futex word: an address within an address
+// space. Tasks sharing a space (PiP, threads) share futexes on the same
+// address — exactly the Linux behaviour the paper's BLOCKING idle policy
+// ("the Linux semaphore, implemented by using futex") relies on.
+type futexKey struct {
+	space uint64
+	addr  uint64
+}
+
+type futexTable struct {
+	queues map[futexKey]*WaitQueue
+}
+
+func newFutexTable() *futexTable {
+	return &futexTable{queues: make(map[futexKey]*WaitQueue)}
+}
+
+func (ft *futexTable) queue(k futexKey) *WaitQueue {
+	q := ft.queues[k]
+	if q == nil {
+		q = &WaitQueue{}
+		ft.queues[k] = q
+	}
+	return q
+}
+
+// FutexWait implements futex(FUTEX_WAIT): if the 64-bit word at addr in
+// the caller's address space still holds expected, block until woken;
+// otherwise return ErrFutexAgain immediately.
+func (t *Task) FutexWait(addr uint64, expected uint64) error {
+	k := t.kernel
+	k.countSyscall(t, "futex_wait")
+	t.Charge(k.machine.Costs.FutexWaitCall)
+	val, err := t.space.ReadU64(addr, taskCharger{t})
+	if err != nil {
+		return err
+	}
+	if val != expected {
+		return ErrFutexAgain
+	}
+	key := futexKey{t.space.ID, addr}
+	if reason := k.block(t, k.futexes.queue(key)); reason == WakeInterrupted {
+		return ErrInterrupted
+	}
+	return nil
+}
+
+// FutexWake implements futex(FUTEX_WAKE): wake up to n waiters on addr.
+// The caller pays the wake system-call; each woken task additionally
+// experiences the kernel wakeup latency before running.
+func (t *Task) FutexWake(addr uint64, n int) int {
+	k := t.kernel
+	k.countSyscall(t, "futex_wake")
+	t.Charge(k.machine.Costs.FutexWakeCall)
+	key := futexKey{t.space.ID, addr}
+	q := k.futexes.queue(key)
+	woken := 0
+	for woken < n && k.WakeOne(q, k.machine.Costs.FutexWakeLatency) != nil {
+		woken++
+	}
+	return woken
+}
+
+// FutexWaiters reports how many tasks sleep on the given word (for tests
+// and diagnostics).
+func (k *Kernel) FutexWaiters(space uint64, addr uint64) int {
+	q := k.futexes.queues[futexKey{space, addr}]
+	if q == nil {
+		return 0
+	}
+	return q.Len()
+}
+
+// Semaphore is a counting semaphore over a futex word, mirroring the
+// glibc sem_t used by the paper's BLOCKING evaluation. The word lives in
+// simulated memory so PiP tasks sharing the address space share the
+// semaphore.
+type Semaphore struct {
+	addr uint64
+}
+
+// NewSemaphore allocates a semaphore word in the task's address space
+// with the given initial count.
+func (t *Task) NewSemaphore(initial uint64) (*Semaphore, error) {
+	addr, err := t.space.Mmap(8, semProt, "semaphore", true, taskCharger{t})
+	if err != nil {
+		return nil, err
+	}
+	if err := t.space.WriteU64(addr, initial, taskCharger{t}); err != nil {
+		return nil, err
+	}
+	return &Semaphore{addr: addr}, nil
+}
+
+// Addr returns the semaphore word's address.
+func (s *Semaphore) Addr() uint64 { return s.addr }
+
+// Wait decrements the semaphore, blocking while it is zero (sem_wait).
+func (s *Semaphore) Wait(t *Task) error {
+	k := t.kernel
+	for {
+		t.Charge(k.machine.Costs.AtomicOp)
+		v, err := t.space.ReadU64(s.addr, taskCharger{t})
+		if err != nil {
+			return err
+		}
+		if v > 0 {
+			return t.space.WriteU64(s.addr, v-1, taskCharger{t})
+		}
+		if err := t.FutexWait(s.addr, 0); err != nil && err != ErrFutexAgain {
+			return err
+		}
+	}
+}
+
+// Post increments the semaphore and wakes one waiter (sem_post).
+func (s *Semaphore) Post(t *Task) error {
+	k := t.kernel
+	t.Charge(k.machine.Costs.AtomicOp)
+	v, err := t.space.ReadU64(s.addr, taskCharger{t})
+	if err != nil {
+		return err
+	}
+	if err := t.space.WriteU64(s.addr, v+1, taskCharger{t}); err != nil {
+		return err
+	}
+	t.FutexWake(s.addr, 1)
+	return nil
+}
+
+// Value reads the current count (for tests).
+func (s *Semaphore) Value(t *Task) (uint64, error) {
+	return t.space.ReadU64(s.addr, taskCharger{t})
+}
+
+// taskCharger adapts a Task to the mem.Charger interface so memory
+// operations bill the executing task.
+type taskCharger struct{ t *Task }
+
+// Charge implements mem.Charger.
+func (c taskCharger) Charge(d sim.Duration) { c.t.Charge(d) }
+
+func (c taskCharger) String() string { return fmt.Sprintf("charger(%s)", pidString(c.t)) }

@@ -1,0 +1,237 @@
+// Package kernel implements the simulated operating-system kernel: kernel
+// tasks (the paper's kernel contexts, KCs), CPU cores with affinity, a
+// per-core scheduler, system-call dispatch with architecture-dependent
+// costs, futexes, semaphores, file descriptors, signals and process
+// lifecycle (clone/exit/wait).
+//
+// Everything a BLT's couple()/decouple() interacts with — blocking
+// system-calls, per-process kernel state, the TLS register — lives here.
+// System-call consistency (the paper's §V-B) is a property *about* this
+// kernel: a system-call must execute on the kernel context owning the
+// right PID/FD table. The kernel provides an audit hook so the ULP layer
+// can prove it preserves that property.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Errors reported by the kernel.
+var (
+	ErrBadFD       = errors.New("kernel: bad file descriptor")
+	ErrNoChild     = errors.New("kernel: no child processes")
+	ErrBadPID      = errors.New("kernel: no such process")
+	ErrFutexAgain  = errors.New("kernel: futex value changed (EAGAIN)")
+	ErrBadCore     = errors.New("kernel: no such CPU core")
+	ErrNotRunning  = errors.New("kernel: task is not running on a CPU")
+	ErrInterrupted = errors.New("kernel: interrupted by signal (EINTR)")
+)
+
+// Kernel is one simulated machine's operating system instance.
+type Kernel struct {
+	machine *arch.Machine
+	engine  *sim.Engine
+	cores   []*Core
+	phys    *mem.PhysMemory
+	fs      *fs.FileSystem
+
+	tasks   map[int]*Task // by PID
+	nextPID int
+
+	futexes *futexTable
+
+	// auditor, when set, observes every system-call with the executing
+	// task; the ULP layer uses it to verify system-call consistency.
+	auditor func(t *Task, name string)
+
+	// timeline, when set, receives one record per contiguous span a
+	// task occupies a core (see SetTimeline).
+	timeline TimelineRecorder
+
+	// Stats.
+	syscalls      uint64
+	ctxSwitches   uint64
+	syscallCounts map[string]uint64
+}
+
+// New creates a kernel for the given machine model on the given engine.
+func New(e *sim.Engine, m *arch.Machine) *Kernel {
+	k := &Kernel{
+		machine:       m,
+		engine:        e,
+		phys:          mem.NewPhysMemory(0),
+		fs:            fs.New(),
+		tasks:         make(map[int]*Task),
+		nextPID:       1,
+		futexes:       newFutexTable(),
+		syscallCounts: make(map[string]uint64),
+	}
+	for i := 0; i < m.Cores(); i++ {
+		k.cores = append(k.cores, &Core{id: i, kernel: k})
+	}
+	return k
+}
+
+// Machine returns the machine model.
+func (k *Kernel) Machine() *arch.Machine { return k.machine }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.engine }
+
+// Phys returns the machine's physical memory.
+func (k *Kernel) Phys() *mem.PhysMemory { return k.phys }
+
+// FS returns the machine's tmpfs instance.
+func (k *Kernel) FS() *fs.FileSystem { return k.fs }
+
+// Cores reports the number of CPU cores.
+func (k *Kernel) Cores() int { return len(k.cores) }
+
+// Core returns core i.
+func (k *Kernel) Core(i int) *Core { return k.cores[i] }
+
+// NewAddressSpace creates an address space with this machine's memory
+// cost parameters.
+func (k *Kernel) NewAddressSpace() *mem.AddressSpace {
+	c := k.machine.Costs
+	return mem.NewAddressSpace(k.phys, mem.Costs{
+		MinorFault: c.MinorFault,
+		MajorFault: c.MajorFault,
+		TLBMiss:    c.TLBMissCost,
+		CopyBytePS: c.MemCopyBytePS,
+	})
+}
+
+// SetAuditor installs the system-call audit hook (nil clears it).
+func (k *Kernel) SetAuditor(fn func(t *Task, name string)) { k.auditor = fn }
+
+// TimelineRecorder receives scheduling spans: task occupied core from
+// start to end (virtual time). The internal/timeline package implements
+// it; ulpsim's -timeline flag renders the result.
+type TimelineRecorder interface {
+	RecordSpan(core int, task string, pid int, start, end sim.Time)
+}
+
+// SetTimeline installs a scheduling-span recorder (nil clears it).
+func (k *Kernel) SetTimeline(tl TimelineRecorder) { k.timeline = tl }
+
+// noteRun marks the moment a task starts occupying a core.
+func (k *Kernel) noteRun(c *Core) {
+	c.runStart = k.engine.Now()
+}
+
+// noteStop closes the current span on core c (if any) and reports it.
+func (k *Kernel) noteStop(c *Core, t *Task) {
+	if k.timeline == nil || t == nil {
+		return
+	}
+	end := k.engine.Now()
+	if end > c.runStart {
+		k.timeline.RecordSpan(c.id, t.name, t.pid, c.runStart, end)
+	}
+}
+
+// Task returns the task with the given PID, or nil.
+func (k *Kernel) Task(pid int) *Task { return k.tasks[pid] }
+
+// Syscalls reports the total number of system-calls executed.
+func (k *Kernel) Syscalls() uint64 { return k.syscalls }
+
+// SyscallCount reports how many times the named system-call ran.
+func (k *Kernel) SyscallCount(name string) uint64 { return k.syscallCounts[name] }
+
+// ContextSwitches reports the number of kernel-level context switches.
+func (k *Kernel) ContextSwitches() uint64 { return k.ctxSwitches }
+
+// Core is one CPU core: it runs at most one task at a time and keeps a
+// FIFO queue of ready tasks assigned to it.
+type Core struct {
+	id      int
+	kernel  *Kernel
+	current *Task
+	runq    []*Task
+
+	busy     sim.Duration // cumulative busy time (power/utilization proxy)
+	runStart sim.Time     // when the current occupancy span began
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Current returns the task now running on the core, or nil when idle.
+func (c *Core) Current() *Task { return c.current }
+
+// QueueLen reports the number of ready tasks waiting on this core.
+func (c *Core) QueueLen() int { return len(c.runq) }
+
+// Busy reports the core's cumulative busy time.
+func (c *Core) Busy() sim.Duration { return c.busy }
+
+func (c *Core) push(t *Task) { c.runq = append(c.runq, t) }
+
+func (c *Core) pop() *Task {
+	if len(c.runq) == 0 {
+		return nil
+	}
+	t := c.runq[0]
+	copy(c.runq, c.runq[1:])
+	c.runq[len(c.runq)-1] = nil
+	c.runq = c.runq[:len(c.runq)-1]
+	return t
+}
+
+func (c *Core) remove(t *Task) bool {
+	for i, q := range c.runq {
+		if q == t {
+			c.runq = append(c.runq[:i], c.runq[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// pickCore selects a core for a waking task: its pinned core if any,
+// otherwise the lowest-numbered idle core, otherwise the core with the
+// shortest queue (ties to the lowest index — fully deterministic).
+func (k *Kernel) pickCore(t *Task) *Core {
+	if t.pinned >= 0 {
+		return k.cores[t.pinned]
+	}
+	best := k.cores[0]
+	for _, c := range k.cores {
+		if c.current == nil && len(c.runq) == 0 {
+			return c
+		}
+		if load(c) < load(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func load(c *Core) int {
+	n := len(c.runq)
+	if c.current != nil {
+		n++
+	}
+	return n
+}
+
+func (k *Kernel) trace(format string, args ...interface{}) {
+	if tr := k.engine.Tracer(); tr != nil {
+		tr.Add(k.engine.Now(), "kernel", format, args...)
+	}
+}
+
+func pidString(t *Task) string {
+	if t == nil {
+		return "<idle>"
+	}
+	return fmt.Sprintf("%s(pid=%d)", t.name, t.pid)
+}

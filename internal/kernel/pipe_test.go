@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	e, k := newKernel()
+	space := k.NewAddressSpace()
+	var r *PipeReader
+	var w *PipeWriter
+	msg := []byte("through the kernel, twice-copied")
+	var got []byte
+	reader := k.NewTask("reader", space, func(task *Task) int {
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(task, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return 1
+			}
+			if n == 0 {
+				return 0 // EOF
+			}
+			got = append(got, buf[:n]...)
+		}
+	})
+	writer := k.NewTask("writer", space, func(task *Task) int {
+		r2, w2 := task.NewPipe()
+		r, w = r2, w2
+		k.Start(reader, 0)
+		task.Nanosleep(5 * sim.Microsecond)
+		if n, err := w.Write(task, msg); err != nil || n != len(msg) {
+			t.Errorf("write = %d,%v", n, err)
+		}
+		w.Close(task)
+		return 0
+	})
+	writer.SetAffinity(0)
+	reader.SetAffinity(1)
+	k.Start(writer, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	// A writer pushing more than the pipe capacity must block until the
+	// reader drains.
+	e, k := newKernel()
+	space := k.NewAddressSpace()
+	var r *PipeReader
+	var w *PipeWriter
+	payload := make([]byte, DefaultPipeCapacity*3)
+	received := 0
+	var writerDone sim.Time
+	reader := k.NewTask("reader", space, func(task *Task) int {
+		task.Nanosleep(200 * sim.Microsecond) // let the writer fill up
+		buf := make([]byte, 8192)
+		for {
+			n, err := r.Read(task, buf)
+			if err != nil || n == 0 {
+				return 0
+			}
+			received += n
+		}
+	})
+	writer := k.NewTask("writer", space, func(task *Task) int {
+		r2, w2 := task.NewPipe()
+		r, w = r2, w2
+		k.Start(reader, 0)
+		w.Write(task, payload)
+		writerDone = e.Now()
+		w.Close(task)
+		return 0
+	})
+	writer.SetAffinity(0)
+	reader.SetAffinity(1)
+	k.Start(writer, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if received != len(payload) {
+		t.Errorf("received %d, want %d", received, len(payload))
+	}
+	if writerDone < sim.Time(200*sim.Microsecond) {
+		t.Error("writer finished before the reader drained: no backpressure")
+	}
+}
+
+func TestPipeEPIPEOnClosedReader(t *testing.T) {
+	_, k := newKernel()
+	runMain(t, k, func(task *Task) int {
+		r, w := task.NewPipe()
+		r.Close(task)
+		if _, err := w.Write(task, []byte("x")); err != ErrPipeClosed {
+			t.Errorf("err = %v, want ErrPipeClosed", err)
+		}
+		return 0
+	})
+}
+
+func TestPipeEOFAfterWriterClose(t *testing.T) {
+	_, k := newKernel()
+	runMain(t, k, func(task *Task) int {
+		r, w := task.NewPipe()
+		w.Write(task, []byte("tail"))
+		w.Close(task)
+		buf := make([]byte, 16)
+		n, err := r.Read(task, buf)
+		if err != nil || string(buf[:n]) != "tail" {
+			t.Errorf("read = %q,%v", buf[:n], err)
+		}
+		n, err = r.Read(task, buf)
+		if err != nil || n != 0 {
+			t.Errorf("EOF read = %d,%v, want 0,nil", n, err)
+		}
+		return 0
+	})
+}
+
+// TestPipeVsSharedMemoryCost reproduces the PiP motivation: moving N
+// bytes through a pipe costs two copies plus wakeups; reading them in
+// place through the shared address space costs at most one.
+func TestPipeVsSharedMemoryCost(t *testing.T) {
+	const n = 256 * 1024
+	pipeTime := func() sim.Duration {
+		e, k := newKernel()
+		space := k.NewAddressSpace()
+		var r *PipeReader
+		var w *PipeWriter
+		var start, end sim.Time
+		reader := k.NewTask("r", space, func(task *Task) int {
+			buf := make([]byte, 64*1024)
+			total := 0
+			for total < n {
+				m, _ := r.Read(task, buf)
+				if m == 0 {
+					break
+				}
+				total += m
+			}
+			end = e.Now()
+			return 0
+		})
+		writer := k.NewTask("w", space, func(task *Task) int {
+			r2, w2 := task.NewPipe()
+			r, w = r2, w2
+			k.Start(reader, 0)
+			start = e.Now()
+			w.Write(task, make([]byte, n))
+			w.Close(task)
+			return 0
+		})
+		writer.SetAffinity(0)
+		reader.SetAffinity(1)
+		k.Start(writer, 0)
+		if err := e.Run(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		return end.Sub(start)
+	}
+
+	sharedTime := func() sim.Duration {
+		e, k := newKernel()
+		space := k.NewAddressSpace()
+		var start, end sim.Time
+		task := k.NewTask("s", space, func(task *Task) int {
+			addr, _ := task.Mmap(n, true)
+			src := make([]byte, n)
+			start = e.Now()
+			task.MemWrite(addr, src) // producer writes in place
+			buf := make([]byte, n)
+			task.MemRead(addr, buf) // consumer reads in place
+			end = e.Now()
+			return 0
+		})
+		k.Start(task, 0)
+		if err := e.Run(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		return end.Sub(start)
+	}
+
+	p, s := pipeTime(), sharedTime()
+	if p <= s {
+		t.Errorf("pipe (%v) should be slower than shared-space access (%v)", p, s)
+	}
+}

@@ -1,0 +1,257 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// WaitQueue is a FIFO queue of blocked kernel tasks. Unlike sim.WaitQ
+// (which parks raw procs), waking a task from a WaitQueue goes through
+// the scheduler, so the task waits for a CPU core if its core is busy.
+type WaitQueue struct {
+	tasks []*Task
+}
+
+// Len reports the number of blocked tasks.
+func (q *WaitQueue) Len() int { return len(q.tasks) }
+
+func (q *WaitQueue) pop() *Task {
+	if len(q.tasks) == 0 {
+		return nil
+	}
+	t := q.tasks[0]
+	copy(q.tasks, q.tasks[1:])
+	q.tasks[len(q.tasks)-1] = nil
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t
+}
+
+func (q *WaitQueue) remove(t *Task) bool {
+	for i, x := range q.tasks {
+		if x == t {
+			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeReason records why a blocked task resumed.
+type WakeReason int
+
+// Wake reasons.
+const (
+	WakeNormal WakeReason = iota
+	WakeInterrupted
+)
+
+// makeRunnable transitions a New or Blocked task to Ready/Running: it is
+// dispatched immediately if its chosen core is idle, queued otherwise.
+func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
+	if t.state != TaskNew && t.state != TaskBlocked {
+		panic(fmt.Sprintf("kernel: makeRunnable of %s in state %v", pidString(t), t.state))
+	}
+	t.blockedOn = nil
+	c := k.pickCore(t)
+	if c.current == nil {
+		k.dispatch(t, c, latency)
+		return
+	}
+	t.state = TaskReady
+	c.push(t)
+}
+
+// dispatch puts t on core c, resuming (or first-starting) its proc after
+// the given latency.
+func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
+	c.current = t
+	t.core = c
+	t.state = TaskRunning
+	k.trace("dispatch %s on core %d (+%v)", pidString(t), c.id, latency)
+	k.engine.After(latency, func() { k.noteRun(c) })
+	if t.proc == nil {
+		t.proc = k.engine.SpawnAfter(fmt.Sprintf("%s/pid%d", t.name, t.pid), latency, func(p *sim.Proc) {
+			status := t.body(t)
+			k.exitTask(t, status)
+		})
+		return
+	}
+	t.proc.Unpark(latency)
+}
+
+// scheduleNext fills a newly idle core from its run queue, charging the
+// kernel context-switch cost as dispatch latency.
+func (k *Kernel) scheduleNext(c *Core) {
+	next := c.pop()
+	if next == nil {
+		return
+	}
+	k.ctxSwitches++
+	next.nCtxSwitches++
+	k.dispatch(next, c, k.machine.Costs.KernelSwitch)
+}
+
+// block suspends the calling task (which must be t itself, running) on
+// the given wait queue (nil for anonymous sleeps) and schedules the next
+// task on its core. It returns the reason the task was woken.
+func (k *Kernel) block(t *Task, q *WaitQueue) WakeReason {
+	if t.state != TaskRunning {
+		panic(fmt.Sprintf("kernel: block of non-running %s", pidString(t)))
+	}
+	t.state = TaskBlocked
+	t.wakeReason = WakeNormal
+	if q != nil {
+		q.tasks = append(q.tasks, t)
+		t.blockedOn = q
+	}
+	c := t.core
+	k.noteStop(c, t)
+	t.core = nil
+	c.current = nil
+	k.trace("block %s (core %d now free)", pidString(t), c.id)
+	k.scheduleNext(c)
+	t.proc.Park()
+	return t.wakeReason
+}
+
+// WakeOne wakes the oldest waiter on q after the given latency, returning
+// it (nil when the queue was empty).
+func (k *Kernel) WakeOne(q *WaitQueue, latency sim.Duration) *Task {
+	t := q.pop()
+	if t == nil {
+		return nil
+	}
+	k.makeRunnable(t, latency)
+	return t
+}
+
+// WakeAll wakes every waiter on q, returning the count.
+func (k *Kernel) WakeAll(q *WaitQueue, latency sim.Duration) int {
+	n := 0
+	for k.WakeOne(q, latency) != nil {
+		n++
+	}
+	return n
+}
+
+// interrupt pulls a task out of an interruptible sleep (signal delivery).
+// Reports whether the task was actually sleeping on a queue.
+func (k *Kernel) interrupt(t *Task, latency sim.Duration) bool {
+	if t.state != TaskBlocked || t.blockedOn == nil {
+		return false
+	}
+	t.blockedOn.remove(t)
+	t.wakeReason = WakeInterrupted
+	k.makeRunnable(t, latency)
+	return true
+}
+
+// exitTask finishes a task: charges teardown, publishes the exit status,
+// wakes waiters and releases the core. Runs as the final act of the
+// task's proc.
+func (k *Kernel) exitTask(t *Task, status int) {
+	t.Charge(k.machine.Costs.ExitCost)
+	t.exited = true
+	t.exitCode = status
+	k.trace("exit %s status=%d", pidString(t), status)
+	if t.space != nil {
+		t.space.Detach()
+	}
+	// Wake anyone Join()ed on this specific task.
+	k.WakeAll(&t.doneQ, k.machine.Costs.FutexWakeLatency)
+	if t.isThread || t.parent == nil {
+		// Threads and the initial task are reaped immediately.
+		t.state = TaskDead
+		delete(k.tasks, t.pid)
+	} else {
+		t.state = TaskZombie
+		// Wake a parent blocked in wait().
+		k.WakeAll(&t.parent.childWait, k.machine.Costs.FutexWakeLatency)
+	}
+	c := t.core
+	k.noteStop(c, t)
+	t.core = nil
+	c.current = nil
+	k.scheduleNext(c)
+	// The proc's body returns after this, terminating the proc.
+}
+
+// SchedYield is the sched_yield(2) system-call: reschedule the calling
+// task behind any ready task on its core. With an empty queue it costs
+// only the trap; otherwise a full kernel context switch happens (the
+// Table IV asymmetry).
+func (t *Task) SchedYield() {
+	k := t.kernel
+	k.countSyscall(t, "sched_yield")
+	t.Charge(k.machine.Costs.SchedYieldNoSwitch)
+	c := t.core
+	if len(c.runq) == 0 {
+		return
+	}
+	k.ctxSwitches++
+	t.nCtxSwitches++
+	t.Charge(k.machine.Costs.KernelSwitch)
+	next := c.pop()
+	t.state = TaskReady
+	k.noteStop(c, t)
+	t.core = nil
+	c.push(t)
+	c.current = nil
+	k.dispatch(next, c, 0)
+	t.proc.Park()
+}
+
+// Nanosleep suspends the calling task for the given virtual duration.
+func (t *Task) Nanosleep(d sim.Duration) {
+	k := t.kernel
+	k.countSyscall(t, "nanosleep")
+	t.Charge(k.machine.Costs.SyscallEntry)
+	var q WaitQueue
+	k.engine.After(d, func() { k.WakeOne(&q, k.machine.Costs.KernelSwitch) })
+	k.block(t, &q)
+}
+
+// Wait implements wait(2): block until some child process exits, reap it
+// and return its PID and exit status. Threads (CloneThread) are not
+// waitable. The paper relies on this: "the wait() system-call can be
+// used to wait for BLT terminations, just like the way used to wait for
+// fork()ed processes".
+func (t *Task) Wait() (pid, status int, err error) {
+	k := t.kernel
+	k.countSyscall(t, "wait")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.WaitCost)
+	for {
+		waitable := 0
+		for i, ch := range t.children {
+			if ch.isThread {
+				continue
+			}
+			waitable++
+			if ch.state == TaskZombie {
+				ch.state = TaskDead
+				delete(k.tasks, ch.pid)
+				t.children = append(t.children[:i], t.children[i+1:]...)
+				return ch.pid, ch.exitCode, nil
+			}
+		}
+		if waitable == 0 {
+			return 0, 0, ErrNoChild
+		}
+		if reason := k.block(t, &t.childWait); reason == WakeInterrupted {
+			return 0, 0, ErrInterrupted
+		}
+	}
+}
+
+// Join blocks until the given task (typically a CloneThread child)
+// exits, returning its status. Models pthread_join.
+func (t *Task) Join(target *Task) int {
+	k := t.kernel
+	k.countSyscall(t, "join")
+	t.Charge(k.machine.Costs.SyscallEntry)
+	for !target.exited {
+		k.block(t, &target.doneQ)
+	}
+	return target.exitCode
+}

@@ -1,0 +1,193 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// TestSchedulerRandomWorkloadInvariants spawns a pseudo-random task
+// graph (sleeps, yields, compute bursts, clones, semaphore pairs) and
+// checks global invariants: every task completes, every parent reaps
+// every process child, core busy time never exceeds elapsed time, and
+// the run is deterministic.
+func TestSchedulerRandomWorkloadInvariants(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 2026} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			end1 := runRandomKernelWorkload(t, seed)
+			end2 := runRandomKernelWorkload(t, seed)
+			if end1 != end2 {
+				t.Errorf("nondeterministic: %v vs %v", end1, end2)
+			}
+		})
+	}
+}
+
+func runRandomKernelWorkload(t *testing.T, seed uint64) sim.Time {
+	t.Helper()
+	e := sim.New()
+	k := New(e, arch.Wallaby())
+	rng := sim.NewRNG(seed)
+	const nTasks = 6
+	const opsPer = 10
+
+	// Pre-generate per-task op streams.
+	plans := make([][]int, nTasks)
+	for i := range plans {
+		plans[i] = make([]int, opsPer)
+		for j := range plans[i] {
+			plans[i][j] = rng.Intn(4)
+		}
+	}
+	pins := make([]int, nTasks)
+	for i := range pins {
+		pins[i] = rng.Intn(4) - 1 // -1..2
+	}
+
+	completed := 0
+	space := k.NewAddressSpace()
+	for i := 0; i < nTasks; i++ {
+		i := i
+		task := k.NewTask(fmt.Sprintf("w%d", i), space, func(task *Task) int {
+			childCount := 0
+			for _, op := range plans[i] {
+				switch op {
+				case 0:
+					task.SchedYield()
+				case 1:
+					task.Nanosleep(sim.Duration(i+1) * sim.Microsecond)
+				case 2:
+					task.Compute(2 * sim.Microsecond)
+				case 3:
+					task.Clone(fmt.Sprintf("w%d.c%d", i, childCount), PiPProcessFlags,
+						func(c *Task) int {
+							c.Compute(sim.Microsecond)
+							return 0
+						})
+					childCount++
+				}
+			}
+			for j := 0; j < childCount; j++ {
+				if _, _, err := task.Wait(); err != nil {
+					t.Errorf("task %d wait %d: %v", i, j, err)
+				}
+			}
+			completed++
+			return 0
+		})
+		if pins[i] >= 0 {
+			task.SetAffinity(pins[i])
+		}
+		k.Start(task, 0)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if completed != nTasks {
+		t.Errorf("completed = %d, want %d", completed, nTasks)
+	}
+	// No core can have been busy longer than the run lasted.
+	for i := 0; i < k.Cores(); i++ {
+		if busy := k.Core(i).Busy(); sim.Time(busy) > e.Now() {
+			t.Errorf("core %d busy %v > elapsed %v", i, busy, e.Now())
+		}
+	}
+	return e.Now()
+}
+
+// TestAffinityMigrationOnWake: changing affinity while blocked takes
+// effect at the next wakeup.
+func TestAffinityMigrationOnWake(t *testing.T) {
+	e, k := newKernel()
+	var coreBefore, coreAfter int
+	task := k.NewTask("migrant", k.NewAddressSpace(), func(task *Task) int {
+		coreBefore = task.Core().ID()
+		task.SetAffinity(5)
+		task.Nanosleep(sim.Microsecond) // block: wake dispatches on core 5
+		coreAfter = task.Core().ID()
+		return 0
+	})
+	task.SetAffinity(1)
+	k.Start(task, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if coreBefore != 1 || coreAfter != 5 {
+		t.Errorf("cores = %d -> %d, want 1 -> 5", coreBefore, coreAfter)
+	}
+}
+
+// TestTwoTasksNeverShareACoreSimultaneously exercises the dispatch
+// invariant with an observer callback.
+func TestCoreExclusiveOccupancy(t *testing.T) {
+	e, k := newKernel()
+	violations := 0
+	check := func() {
+		seen := map[int]int{}
+		for pid := 1; pid < 20; pid++ {
+			task := k.Task(pid)
+			if task == nil || task.State() != TaskRunning {
+				continue
+			}
+			c := task.Core().ID()
+			seen[c]++
+			if seen[c] > 1 {
+				violations++
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		task := k.NewTask(fmt.Sprintf("t%d", i), k.NewAddressSpace(), func(task *Task) int {
+			for j := 0; j < 5; j++ {
+				task.Compute(sim.Microsecond)
+				check()
+				task.SchedYield()
+			}
+			return 0
+		})
+		task.SetAffinity(i % 2) // force sharing of two cores
+		k.Start(task, 0)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Errorf("%d exclusive-occupancy violations", violations)
+	}
+}
+
+// TestWaitReapsInAnyOrder: children exiting in scrambled order are all
+// reaped.
+func TestWaitReapsInAnyOrder(t *testing.T) {
+	_, k := newKernel()
+	runMain(t, k, func(parent *Task) int {
+		delays := []sim.Duration{30, 10, 20, 5}
+		for i, d := range delays {
+			d := d
+			parent.Clone(fmt.Sprintf("c%d", i), PiPProcessFlags, func(c *Task) int {
+				c.Nanosleep(d * sim.Microsecond)
+				return int(d)
+			})
+		}
+		got := map[int]bool{}
+		for range delays {
+			_, status, err := parent.Wait()
+			if err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			got[status] = true
+		}
+		for _, d := range delays {
+			if !got[int(d)] {
+				t.Errorf("child with status %d never reaped", d)
+			}
+		}
+		if _, _, err := parent.Wait(); err != ErrNoChild {
+			t.Errorf("extra wait err = %v, want ErrNoChild", err)
+		}
+		return 0
+	})
+}

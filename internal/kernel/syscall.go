@@ -1,0 +1,170 @@
+package kernel
+
+import (
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// semProt is the protection for semaphore words.
+const semProt = mem.ProtRead | mem.ProtWrite
+
+// countSyscall records bookkeeping common to all system-calls and feeds
+// the audit hook. It does not charge time; each call charges its own
+// documented cost.
+func (k *Kernel) countSyscall(t *Task, name string) {
+	k.syscalls++
+	k.syscallCounts[name]++
+	t.nSyscalls++
+	if k.auditor != nil {
+		k.auditor(t, name)
+	}
+}
+
+// Getpid returns the calling task's process id (thread-group id). This
+// is the paper's canonical consistency example: "when a UC calls the
+// getpid() system-call, the returned PID may vary depending on the
+// scheduling KLT" — unless couple() routes the call to the right KC.
+func (t *Task) Getpid() int {
+	k := t.kernel
+	k.countSyscall(t, "getpid")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.GetPIDWork)
+	return t.tgid
+}
+
+// Gettid returns the kernel task id (distinct per thread).
+func (t *Task) Gettid() int {
+	k := t.kernel
+	k.countSyscall(t, "gettid")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.GetPIDWork)
+	return t.pid
+}
+
+// LoadTLS points the task's TLS register at a new thread descriptor.
+// On x86_64 the FS register is privileged, so this is the arch_prctl
+// system-call and costs the full Table III "Load TLS" time; on AArch64
+// tpidr_el0 is written directly from user mode for a few nanoseconds.
+func (t *Task) LoadTLS(val uint64) {
+	k := t.kernel
+	if !k.machine.TLSUserAccessible {
+		k.countSyscall(t, "arch_prctl")
+	}
+	t.Charge(k.machine.Costs.TLSLoad)
+	t.tlsReg = val
+}
+
+// Open opens path with the given flags on the machine's tmpfs, returning
+// a descriptor in the calling task's FD table.
+func (t *Task) Open(path string, flags fs.OpenFlags) (int, error) {
+	k := t.kernel
+	k.countSyscall(t, "open")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.OpenCost)
+	f, err := k.fs.Open(path, flags)
+	if err != nil {
+		return -1, err
+	}
+	return t.fdt.Alloc(f), nil
+}
+
+// Write writes data to fd. remote marks that the calling core did not
+// produce the buffer (e.g. a dedicated system-call core executing on
+// behalf of a decoupled ULP), which streams the data across the
+// interconnect at the machine's remote-byte penalty.
+func (t *Task) Write(fd int, data []byte, remote bool) (int, error) {
+	k := t.kernel
+	k.countSyscall(t, "write")
+	t.Charge(k.machine.WriteCost(len(data), remote))
+	f, err := t.fdt.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Write(data)
+}
+
+// Read reads from fd into buf.
+func (t *Task) Read(fd int, buf []byte) (int, error) {
+	k := t.kernel
+	k.countSyscall(t, "read")
+	c := k.machine.Costs
+	f, err := t.fdt.Get(fd)
+	if err != nil {
+		t.Charge(c.SyscallEntry + c.ReadBase)
+		return 0, err
+	}
+	n, err := f.Read(buf)
+	t.Charge(c.SyscallEntry + c.ReadBase + fromBytes(c.WriteBytePS, n))
+	return n, err
+}
+
+// Close closes fd.
+func (t *Task) Close(fd int) error {
+	k := t.kernel
+	k.countSyscall(t, "close")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.CloseCost)
+	f, err := t.fdt.Remove(fd)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Seek positions fd (lseek).
+func (t *Task) Seek(fd, pos int) error {
+	k := t.kernel
+	k.countSyscall(t, "lseek")
+	t.Charge(k.machine.Costs.SyscallEntry)
+	f, err := t.fdt.Get(fd)
+	if err != nil {
+		return err
+	}
+	return f.Seek(pos)
+}
+
+// Unlink removes a path.
+func (t *Task) Unlink(path string) error {
+	k := t.kernel
+	k.countSyscall(t, "unlink")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.CloseCost)
+	return k.fs.Unlink(path)
+}
+
+// Mmap allocates anonymous memory in the task's address space
+// (PiP's malloc is configured to use mmap instead of brk, because the
+// one heap segment cannot be shared; see the paper's §IV).
+func (t *Task) Mmap(size uint64, populated bool) (uint64, error) {
+	k := t.kernel
+	k.countSyscall(t, "mmap")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.MmapCost)
+	return t.space.Mmap(size, mem.ProtRead|mem.ProtWrite, t.name+".mmap", populated, taskCharger{t})
+}
+
+// Munmap releases memory mapped with Mmap.
+func (t *Task) Munmap(addr, size uint64) error {
+	k := t.kernel
+	k.countSyscall(t, "munmap")
+	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.MmapCost)
+	return t.space.Munmap(addr, size)
+}
+
+// MemWrite/MemRead access the task's address space as plain loads and
+// stores (no system-call; faults and copy time are charged).
+
+// MemWrite stores data at va.
+func (t *Task) MemWrite(va uint64, data []byte) error {
+	return t.space.Write(va, data, taskCharger{t})
+}
+
+// MemRead loads len(buf) bytes from va.
+func (t *Task) MemRead(va uint64, buf []byte) error {
+	return t.space.Read(va, buf, taskCharger{t})
+}
+
+// Compute burns pure user-mode CPU time (the "computation" half of the
+// overlap benchmarks). It is not a system-call.
+func (t *Task) Compute(d sim.Duration) {
+	t.Charge(d)
+}
+
+func fromBytes(perBytePS float64, n int) sim.Duration {
+	return sim.Duration(perBytePS * float64(n))
+}

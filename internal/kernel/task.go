@@ -1,0 +1,277 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TaskState is the scheduler-visible state of a kernel task.
+type TaskState int
+
+// Task states.
+const (
+	TaskNew TaskState = iota
+	TaskReady
+	TaskRunning
+	TaskBlocked
+	TaskZombie
+	TaskDead
+)
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	switch s {
+	case TaskNew:
+		return "new"
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskBlocked:
+		return "blocked"
+	case TaskZombie:
+		return "zombie"
+	case TaskDead:
+		return "dead"
+	}
+	return "?"
+}
+
+// CloneFlags select what a cloned task shares with its parent, mirroring
+// the Linux clone(2) flags PiP depends on.
+type CloneFlags uint32
+
+// Clone flag bits.
+const (
+	// CloneVM shares the parent's address space (the essence of PiP's
+	// process mode: same page table, distinct everything else).
+	CloneVM CloneFlags = 1 << iota
+	// CloneFiles shares the parent's file-descriptor table.
+	CloneFiles
+	// CloneSighand shares the parent's signal handler table.
+	CloneSighand
+	// CloneThread makes the child a thread in the parent's thread
+	// group: same TGID (getpid value), not waited for by wait().
+	CloneThread
+)
+
+// PThreadFlags is the flag set pthread_create uses.
+const PThreadFlags = CloneVM | CloneFiles | CloneSighand | CloneThread
+
+// PiPProcessFlags is the flag set PiP's process mode uses: shared address
+// space, but own PID, own FDs, own signal handlers — a real process in
+// the kernel's eyes.
+const PiPProcessFlags = CloneVM
+
+// TaskBody is the code a kernel task executes; its return value is the
+// exit status.
+type TaskBody func(t *Task) int
+
+// Task is a simulated kernel task — the paper's kernel context (KC). It
+// is the schedulable entity and the owner of per-process kernel state:
+// PID, file descriptors, signal state and the TLS register.
+type Task struct {
+	kernel *Kernel
+	name   string
+	pid    int
+	tgid   int // thread-group id: what getpid() returns
+	parent *Task
+
+	state  TaskState
+	core   *Core // core the task is running on (nil unless Running)
+	pinned int   // pinned core id, -1 for unpinned
+
+	proc *sim.Proc
+	body TaskBody
+
+	space  *mem.AddressSpace
+	fdt    *FDTable
+	sig    *SignalState
+	tlsReg uint64 // the FS / tpidr_el0 register value
+
+	children  []*Task
+	childWait WaitQueue // this task blocked in wait() for children
+	doneQ     WaitQueue // tasks Join()ed on this task
+	exitCode  int
+	exited    bool
+	isThread  bool // CloneThread: reaped automatically, not via wait()
+
+	// blockedOn, when non-nil, is the wait queue the task sleeps on; it
+	// allows signal delivery to interrupt sleeps.
+	blockedOn  *WaitQueue
+	wakeReason WakeReason
+
+	// Stats.
+	cpuTime      sim.Duration
+	nSyscalls    uint64
+	nCtxSwitches uint64
+}
+
+// NewTask creates the initial task of a "program" outside any clone
+// relationship (like init, or the PiP root before spawning). The task is
+// left in TaskNew state; call Start to make it runnable.
+func (k *Kernel) NewTask(name string, space *mem.AddressSpace, body TaskBody) *Task {
+	pid := k.nextPID
+	k.nextPID++
+	t := &Task{
+		kernel: k,
+		name:   name,
+		pid:    pid,
+		tgid:   pid,
+		state:  TaskNew,
+		pinned: -1,
+		body:   body,
+		space:  space,
+		fdt:    NewFDTable(),
+		sig:    NewSignalState(),
+	}
+	if space != nil {
+		space.Attach()
+	}
+	k.tasks[pid] = t
+	return t
+}
+
+// Start makes a TaskNew task runnable with the given dispatch latency.
+func (k *Kernel) Start(t *Task, latency sim.Duration) {
+	if t.state != TaskNew {
+		panic(fmt.Sprintf("kernel: Start of task %s in state %v", pidString(t), t.state))
+	}
+	k.makeRunnable(t, latency)
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// PID returns the task's kernel-internal id (what gettid() would say).
+func (t *Task) PID() int { return t.pid }
+
+// TGID returns the task's thread-group id (what getpid() returns).
+func (t *Task) TGID() int { return t.tgid }
+
+// State returns the scheduler state.
+func (t *Task) State() TaskState { return t.state }
+
+// Parent returns the creating task, or nil.
+func (t *Task) Parent() *Task { return t.parent }
+
+// Space returns the task's address space.
+func (t *Task) Space() *mem.AddressSpace { return t.space }
+
+// FDTable returns the task's file-descriptor table.
+func (t *Task) FDTable() *FDTable { return t.fdt }
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.kernel }
+
+// Pinned reports the pinned core id, or -1.
+func (t *Task) Pinned() int { return t.pinned }
+
+// SetAffinity pins the task to a core (sched_setaffinity with one core).
+// Must be called before Start or from the task itself while running; a
+// running task migrates at its next scheduling point.
+func (t *Task) SetAffinity(core int) error {
+	if core < -1 || core >= len(t.kernel.cores) {
+		return ErrBadCore
+	}
+	t.pinned = core
+	return nil
+}
+
+// TLSReg returns the task's TLS register (FS / tpidr_el0) value.
+func (t *Task) TLSReg() uint64 { return t.tlsReg }
+
+// CPUTime reports the task's cumulative on-CPU time.
+func (t *Task) CPUTime() sim.Duration { return t.cpuTime }
+
+// Core returns the core the task currently runs on, or nil.
+func (t *Task) Core() *Core { return t.core }
+
+// Exited reports whether the task has terminated.
+func (t *Task) Exited() bool { return t.exited }
+
+// ExitCode returns the task's exit status (valid once Exited).
+func (t *Task) ExitCode() int { return t.exitCode }
+
+// String implements fmt.Stringer.
+func (t *Task) String() string { return pidString(t) }
+
+// Charge consumes on-CPU virtual time. The task must be running. This is
+// the only way simulated code spends time, so it also feeds the core's
+// busy counter (the power proxy used by the idle-policy ablation).
+func (t *Task) Charge(d sim.Duration) {
+	if t.state != TaskRunning {
+		panic(fmt.Sprintf("kernel: Charge by non-running task %s (%v)", pidString(t), t.state))
+	}
+	t.cpuTime += d
+	t.core.busy += d
+	t.proc.Advance(d)
+}
+
+// Clone creates a child task per the given flags and makes it runnable
+// after the architecture's clone/thread-create latency. The calling task
+// pays that cost. body runs in the child.
+func (t *Task) Clone(name string, flags CloneFlags, body TaskBody) *Task {
+	return t.ClonePinned(name, flags, -1, body)
+}
+
+// ClonePinned is Clone with the child pinned to a CPU core before it
+// first runs (clone + sched_setaffinity, as pthread_attr_setaffinity_np
+// arranges). core -1 leaves the child unpinned.
+func (t *Task) ClonePinned(name string, flags CloneFlags, core int, body TaskBody) *Task {
+	k := t.kernel
+	cost := k.machine.Costs.CloneCost
+	if flags&CloneThread != 0 {
+		cost = k.machine.Costs.ThreadCreate
+	}
+	t.Charge(cost)
+
+	pid := k.nextPID
+	k.nextPID++
+	if core < -1 || core >= len(k.cores) {
+		panic(ErrBadCore)
+	}
+	child := &Task{
+		kernel: k,
+		name:   name,
+		pid:    pid,
+		tgid:   pid,
+		parent: t,
+		state:  TaskNew,
+		pinned: core,
+		body:   body,
+	}
+	if flags&CloneThread != 0 {
+		child.tgid = t.tgid
+		child.isThread = true
+	}
+	if flags&CloneVM != 0 {
+		child.space = t.space
+	} else {
+		// Fork-style: a copy-on-write duplicate of the parent's space —
+		// the conventional process creation that PiP's shared-space
+		// spawn is an alternative to.
+		child.space = t.space.ForkCoW(taskCharger{t})
+	}
+	if child.space != nil {
+		child.space.Attach()
+	}
+	if flags&CloneFiles != 0 {
+		child.fdt = t.fdt
+	} else {
+		child.fdt = t.fdt.Copy()
+	}
+	if flags&CloneSighand != 0 {
+		child.sig = t.sig
+	} else {
+		child.sig = t.sig.Copy()
+	}
+	child.tlsReg = t.tlsReg
+	t.children = append(t.children, child)
+	k.tasks[pid] = child
+	k.trace("clone %s -> %s (flags=%b)", pidString(t), pidString(child), flags)
+	k.makeRunnable(child, 0)
+	return child
+}

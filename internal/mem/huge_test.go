@@ -1,0 +1,112 @@
+package mem
+
+import "testing"
+
+func TestHugeMappingFaultsOncePer2MiB(t *testing.T) {
+	as := newSpace()
+	const size = 2 * HugePageSize
+	addr, err := as.MmapHuge(size, ProtRead|ProtWrite, "huge", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr%HugePageSize != 0 {
+		t.Fatalf("huge mapping at %#x not 2MiB aligned", addr)
+	}
+	// Touch every base page of the first huge page: exactly one fault.
+	for off := uint64(0); off < HugePageSize; off += PageSize {
+		if err := as.Write(addr+off, []byte{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := as.Stats().MinorFaults; got != 1 {
+		t.Errorf("faults after touching 512 base pages = %d, want 1", got)
+	}
+	// Touch the second huge page: one more.
+	as.Write(addr+HugePageSize, []byte{1}, nil)
+	if got := as.Stats().MinorFaults; got != 2 {
+		t.Errorf("faults = %d, want 2", got)
+	}
+}
+
+func TestHugeVsBaseFaultCount(t *testing.T) {
+	// §VII: huge pages reduce the number of page faults (here by 512x).
+	const size = 4 * HugePageSize
+
+	base := newSpace()
+	a1, _ := base.Mmap(size, ProtRead|ProtWrite, "base", false, nil)
+	for off := uint64(0); off < size; off += PageSize {
+		base.Write(a1+off, []byte{1}, nil)
+	}
+
+	huge := newSpace()
+	a2, _ := huge.MmapHuge(size, ProtRead|ProtWrite, "huge", false, nil)
+	for off := uint64(0); off < size; off += PageSize {
+		huge.Write(a2+off, []byte{1}, nil)
+	}
+
+	bf, hf := base.Stats().MinorFaults, huge.Stats().MinorFaults
+	if bf != size/PageSize {
+		t.Errorf("base faults = %d, want %d", bf, size/PageSize)
+	}
+	if hf != size/HugePageSize {
+		t.Errorf("huge faults = %d, want %d", hf, size/HugePageSize)
+	}
+}
+
+func TestHugeReducesTLBMisses(t *testing.T) {
+	const size = 8 * HugePageSize // exceeds the 64-entry base-page TLB reach
+
+	walk := func(huge bool) uint64 {
+		as := newSpace()
+		var addr uint64
+		if huge {
+			addr, _ = as.MmapHuge(size, ProtRead|ProtWrite, "h", true, nil)
+		} else {
+			addr, _ = as.Mmap(size, ProtRead|ProtWrite, "b", true, nil)
+		}
+		// Two sequential sweeps; the second reuses TLB entries only if
+		// the working set fits.
+		for pass := 0; pass < 2; pass++ {
+			for off := uint64(0); off < size; off += PageSize {
+				as.Read(addr+off, make([]byte, 1), nil)
+			}
+		}
+		return as.Stats().TLBMisses
+	}
+
+	baseMisses, hugeMisses := walk(false), walk(true)
+	if hugeMisses*64 > baseMisses {
+		t.Errorf("huge pages did not reduce TLB misses: base=%d huge=%d", baseMisses, hugeMisses)
+	}
+}
+
+func TestHugePopulatedNeverFaultsLater(t *testing.T) {
+	as := newSpace()
+	ch := &countCharger{}
+	addr, err := as.MmapHuge(HugePageSize, ProtRead|ProtWrite, "hp", true, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Stats().MinorFaults; got != 1 {
+		t.Fatalf("populate faults = %d, want 1", got)
+	}
+	as.Write(addr+123*PageSize, []byte{7}, nil)
+	if got := as.Stats().MinorFaults; got != 1 {
+		t.Errorf("faults grew to %d after access to populated huge area", got)
+	}
+}
+
+func TestHugeMunmapFreesAllFrames(t *testing.T) {
+	phys := NewPhysMemory(0)
+	as := NewAddressSpace(phys, testCosts())
+	addr, _ := as.MmapHuge(HugePageSize, ProtRead|ProtWrite, "h", true, nil)
+	if phys.Allocated() != HugePageSize/PageSize {
+		t.Fatalf("allocated = %d", phys.Allocated())
+	}
+	if err := as.Munmap(addr, HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Allocated() != 0 {
+		t.Errorf("allocated = %d after munmap", phys.Allocated())
+	}
+}

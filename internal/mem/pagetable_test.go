@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableMapLookupUnmap(t *testing.T) {
+	pt := NewPageTable()
+	va := uint64(0x7f12_3456_7000)
+	pte := &PTE{Frame: &Frame{ID: 1}, Prot: ProtRead | ProtWrite}
+	pt.Map(va, pte)
+	if got := pt.Lookup(va); got != pte {
+		t.Fatal("Lookup did not return mapped PTE")
+	}
+	if got := pt.Lookup(va + PageSize); got != nil {
+		t.Fatal("Lookup of unmapped page returned a PTE")
+	}
+	if pt.Mapped() != 1 {
+		t.Errorf("Mapped = %d, want 1", pt.Mapped())
+	}
+	if got := pt.Unmap(va); got != pte {
+		t.Fatal("Unmap did not return the PTE")
+	}
+	if pt.Lookup(va) != nil {
+		t.Fatal("PTE survived Unmap")
+	}
+	if pt.Mapped() != 0 {
+		t.Errorf("Mapped = %d after unmap, want 0", pt.Mapped())
+	}
+}
+
+func TestPageTableDoubleMapPanics(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x1000, &PTE{})
+	defer func() {
+		if recover() == nil {
+			t.Error("double Map did not panic")
+		}
+	}()
+	pt.Map(0x1000, &PTE{})
+}
+
+func TestPageTableUnmapMissing(t *testing.T) {
+	pt := NewPageTable()
+	if pt.Unmap(0x5000) != nil {
+		t.Error("Unmap of unmapped page returned non-nil")
+	}
+}
+
+func TestPageTablePruning(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x1000, &PTE{})
+	pt.Unmap(0x1000)
+	// After pruning, the root must have no children.
+	if pt.root.live != 0 {
+		t.Errorf("root.live = %d after full unmap, want 0", pt.root.live)
+	}
+}
+
+func TestPageTableDistinctTopLevelIndices(t *testing.T) {
+	// Addresses that differ only in high bits use different PGD slots.
+	pt := NewPageTable()
+	a := uint64(0x0000_0000_0040_0000)
+	b := uint64(0x0000_7f00_0000_0000)
+	pt.Map(a, &PTE{Frame: &Frame{ID: 1}})
+	pt.Map(b, &PTE{Frame: &Frame{ID: 2}})
+	if pt.Lookup(a).Frame.ID != 1 || pt.Lookup(b).Frame.ID != 2 {
+		t.Fatal("cross-talk between distant addresses")
+	}
+}
+
+// Property: for any set of distinct pages, map-then-lookup returns the
+// right PTE and unmap-all leaves the table empty.
+func TestPageTableProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		pt := NewPageTable()
+		seen := map[uint64]*PTE{}
+		for _, p := range pages {
+			va := uint64(p) << PageShift
+			if _, dup := seen[va]; dup {
+				continue
+			}
+			pte := &PTE{Frame: &Frame{ID: va}}
+			pt.Map(va, pte)
+			seen[va] = pte
+		}
+		if pt.Mapped() != uint64(len(seen)) {
+			return false
+		}
+		for va, pte := range seen {
+			if pt.Lookup(va) != pte {
+				return false
+			}
+		}
+		for va := range seen {
+			if pt.Unmap(va) == nil {
+				return false
+			}
+		}
+		return pt.Mapped() == 0 && pt.root.live == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableRangeOrdered(t *testing.T) {
+	pt := NewPageTable()
+	vas := []uint64{0x7f00_0000_0000, 0x40_0000, 0x41_0000, 0x7fff_ffff_f000 - PageSize}
+	for _, va := range vas {
+		pt.Map(va, &PTE{Frame: &Frame{ID: va}})
+	}
+	var got []uint64
+	pt.Range(func(va uint64, pte *PTE) bool {
+		got = append(got, va)
+		return true
+	})
+	if len(got) != len(vas) {
+		t.Fatalf("Range visited %d pages, want %d", len(got), len(vas))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("Range not ascending: %x", got)
+		}
+	}
+}

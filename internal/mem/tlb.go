@@ -1,0 +1,70 @@
+package mem
+
+// TLB is a small fully-associative translation lookaside buffer with FIFO
+// replacement, used for page-walk cost accounting. One TLB per address
+// space is a simplification (real TLBs are per-core) but preserves the
+// property the paper cares about: address-space sharing keeps one set of
+// translations hot, while separate address spaces each warm their own.
+type TLB struct {
+	capacity int
+	fifo     []uint64
+	present  map[uint64]int // page -> index in fifo
+	hits     uint64
+	misses   uint64
+}
+
+// NewTLB creates a TLB holding up to capacity page translations.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &TLB{capacity: capacity, present: make(map[uint64]int, capacity)}
+}
+
+// Hit reports whether the page translation is cached, updating stats.
+func (t *TLB) Hit(page uint64) bool {
+	if _, ok := t.present[page]; ok {
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// Insert caches a page translation, evicting the oldest entry when full.
+func (t *TLB) Insert(page uint64) {
+	if _, ok := t.present[page]; ok {
+		return
+	}
+	if len(t.fifo) >= t.capacity {
+		old := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		delete(t.present, old)
+	}
+	t.present[page] = len(t.fifo)
+	t.fifo = append(t.fifo, page)
+}
+
+// Invalidate drops a page translation (on unmap).
+func (t *TLB) Invalidate(page uint64) {
+	if _, ok := t.present[page]; !ok {
+		return
+	}
+	delete(t.present, page)
+	for i, p := range t.fifo {
+		if p == page {
+			t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// Flush drops all translations (on address-space switch — this is why
+// process context switches cost more than thread switches).
+func (t *TLB) Flush() {
+	t.fifo = t.fifo[:0]
+	t.present = make(map[uint64]int, t.capacity)
+}
+
+// Stats reports cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }

@@ -1,0 +1,96 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBHitAfterInsert(t *testing.T) {
+	tlb := NewTLB(4)
+	if tlb.Hit(0x1000) {
+		t.Error("hit in empty TLB")
+	}
+	tlb.Insert(0x1000)
+	if !tlb.Hit(0x1000) {
+		t.Error("miss after insert")
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", hits, misses)
+	}
+}
+
+func TestTLBFIFOEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(0x1000)
+	tlb.Insert(0x2000)
+	tlb.Insert(0x3000) // evicts 0x1000
+	if tlb.Hit(0x1000) {
+		t.Error("oldest entry not evicted")
+	}
+	if !tlb.Hit(0x2000) || !tlb.Hit(0x3000) {
+		t.Error("younger entries evicted")
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(0x1000)
+	tlb.Insert(0x2000)
+	tlb.Invalidate(0x1000)
+	if tlb.Hit(0x1000) {
+		t.Error("hit after invalidate")
+	}
+	tlb.Flush()
+	if tlb.Hit(0x2000) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestTLBNeverExceedsCapacity(t *testing.T) {
+	f := func(pages []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		tlb := NewTLB(capacity)
+		for _, p := range pages {
+			tlb.Insert(uint64(p) << PageShift)
+			if len(tlb.fifo) > capacity || len(tlb.present) > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBDuplicateInsertNoGrowth(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(0x1000)
+	tlb.Insert(0x1000)
+	if len(tlb.fifo) != 1 {
+		t.Errorf("fifo len = %d after duplicate insert, want 1", len(tlb.fifo))
+	}
+}
+
+func TestVMAKindAndProtStrings(t *testing.T) {
+	if (ProtRead | ProtWrite).String() != "rw-" {
+		t.Errorf("Prot string = %q", (ProtRead | ProtWrite).String())
+	}
+	if VMAText.String() != "text" || VMAFile.String() != "file" {
+		t.Error("VMAKind strings wrong")
+	}
+	v := &VMA{Start: 0x1000, End: 0x3000}
+	if v.Len() != 0x2000 || !v.Contains(0x1000) || v.Contains(0x3000) {
+		t.Error("VMA geometry wrong")
+	}
+}
+
+func TestGapBelowFindsSpace(t *testing.T) {
+	var s vmaSet
+	s.insert(&VMA{Start: MmapBase - 2*PageSize, End: MmapBase})
+	got := s.gapBelow(MmapBase, PageSize)
+	if got == 0 || got+PageSize > MmapBase-2*PageSize {
+		t.Errorf("gapBelow returned %x inside occupied range", got)
+	}
+}

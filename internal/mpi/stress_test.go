@@ -1,0 +1,199 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// TestRandomPermutationRouting sends one message per rank along a
+// pseudo-random permutation (every rank sends to exactly one target and
+// receives from exactly one source) with randomized payload sizes that
+// straddle the rendezvous threshold, repeated over several rounds.
+// Payload integrity and termination are the invariants.
+func TestRandomPermutationRouting(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const n = 8
+			const rounds = 4
+			rng := sim.NewRNG(seed)
+			// Pre-generate a permutation and payload size per round.
+			perms := make([][]int, rounds)
+			sizes := make([][]int, rounds)
+			for round := range perms {
+				perms[round] = randPerm(rng, n)
+				sizes[round] = make([]int, n)
+				for i := range sizes[round] {
+					// Mix eager and rendezvous sizes.
+					if rng.Intn(2) == 0 {
+						sizes[round][i] = 1 + rng.Intn(1024)
+					} else {
+						sizes[round][i] = RendezvousThreshold + rng.Intn(64*1024)
+					}
+				}
+			}
+			inverse := func(p []int, dst int) int {
+				for s, d := range p {
+					if d == dst {
+						return s
+					}
+				}
+				return -1
+			}
+
+			k := newK(arch.Wallaby())
+			_, statuses, err := Run(k, testCfg(), n, func(r *Rank) int {
+				for round := 0; round < rounds; round++ {
+					dst := perms[round][r.Rank()]
+					src := inverse(perms[round], r.Rank())
+					size := sizes[round][r.Rank()]
+					payload := make([]byte, size)
+					for i := range payload {
+						payload[i] = byte(i ^ r.Rank() ^ round)
+					}
+					// A permutation can contain cycles (including self-
+					// loops); synchronous Send would deadlock above the
+					// rendezvous threshold — exactly as real MPI_Send
+					// would. Use the nonblocking form.
+					req, err := r.Isend(dst, round, payload)
+					if err != nil {
+						return 1
+					}
+					got, from, _, err := r.Recv(src, round)
+					if err != nil || from != src {
+						return 2
+					}
+					req.Wait()
+					wantSize := sizes[round][src]
+					if len(got) != wantSize {
+						return 3
+					}
+					for i := range got {
+						if got[i] != byte(i^src^round) {
+							return 4
+						}
+					}
+					if err := r.Barrier(); err != nil {
+						return 5
+					}
+				}
+				return 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range statuses {
+				if s != 0 {
+					t.Errorf("rank %d status %d", i, s)
+				}
+			}
+		})
+	}
+}
+
+// randPerm builds a permutation with the deterministic RNG
+// (Fisher-Yates).
+func randPerm(rng *sim.RNG, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// TestMPIDeterminism runs the same seeded traffic twice and checks the
+// virtual end times agree exactly.
+func TestMPIDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		k := newK(arch.Albireo())
+		_, statuses, err := Run(k, testCfg(), 6, func(r *Rank) int {
+			for round := 0; round < 3; round++ {
+				next := (r.Rank() + 1) % r.Size()
+				if err := r.Send(next, round, make([]byte, 128)); err != nil {
+					return 1
+				}
+				prev := (r.Rank() + r.Size() - 1) % r.Size()
+				if _, _, _, err := r.Recv(prev, round); err != nil {
+					return 2
+				}
+				if _, err := r.Allreduce(OpSum, []float64{1}); err != nil {
+					return 3
+				}
+			}
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range statuses {
+			if s != 0 {
+				t.Fatalf("rank %d status %d", i, s)
+			}
+		}
+		return k.Engine().Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic MPI run: %v vs %v", a, b)
+	}
+}
+
+// TestAllreduceMatchesSequential checks Allreduce against a sequential
+// reference for random value sets and operators.
+func TestAllreduceMatchesSequential(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(7)
+		width := 1 + rng.Intn(4)
+		op := Op(rng.Intn(3))
+		vals := make([][]float64, n)
+		for i := range vals {
+			vals[i] = make([]float64, width)
+			for j := range vals[i] {
+				vals[i][j] = float64(rng.Intn(1000)) / 10
+			}
+		}
+		// Sequential reference.
+		want := append([]float64(nil), vals[0]...)
+		for i := 1; i < n; i++ {
+			for j := range want {
+				want[j] = op.apply(want[j], vals[i][j])
+			}
+		}
+		results := make([][]float64, n)
+		k := newK(arch.Wallaby())
+		_, statuses, err := Run(k, testCfg(), n, func(r *Rank) int {
+			out, err := r.Allreduce(op, vals[r.Rank()])
+			if err != nil {
+				return 1
+			}
+			results[r.Rank()] = out
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range statuses {
+			if s != 0 {
+				t.Fatalf("trial %d rank %d status %d", trial, i, s)
+			}
+		}
+		for rank, out := range results {
+			if len(out) != width {
+				t.Fatalf("trial %d rank %d width %d, want %d", trial, rank, len(out), width)
+			}
+			for j := range out {
+				if out[j] != want[j] {
+					t.Errorf("trial %d (n=%d op=%d) rank %d elem %d = %v, want %v",
+						trial, n, op, rank, j, out[j], want[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package pip
+
+import "repro/internal/kernel"
+
+// Barrier is a reusable sense-reversing barrier across PiP tasks, built
+// on futex words in the shared address space — the synchronization
+// primitive an MPI implementation over PiP would use.
+type Barrier struct {
+	parties   int
+	countAddr uint64 // arrivals in the current generation
+	genAddr   uint64 // generation counter (the futex word)
+}
+
+// NewBarrier allocates a barrier for the given number of parties in the
+// calling task's (shared) address space.
+func NewBarrier(t *kernel.Task, parties int) (*Barrier, error) {
+	if parties < 1 {
+		parties = 1
+	}
+	base, err := t.Mmap(16, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Barrier{parties: parties, countAddr: base, genAddr: base + 8}, nil
+}
+
+// Parties returns the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks the calling task until all parties have arrived. The last
+// arrival advances the generation and wakes everyone.
+func (b *Barrier) Wait(t *kernel.Task) error {
+	space := t.Space()
+	gen, err := space.ReadU64(b.genAddr, nil)
+	if err != nil {
+		return err
+	}
+	t.Charge(t.Kernel().Machine().Costs.AtomicOp)
+	count, err := space.ReadU64(b.countAddr, nil)
+	if err != nil {
+		return err
+	}
+	count++
+	if err := space.WriteU64(b.countAddr, count, nil); err != nil {
+		return err
+	}
+	if int(count) == b.parties {
+		// Last arrival: reset and release this generation.
+		if err := space.WriteU64(b.countAddr, 0, nil); err != nil {
+			return err
+		}
+		if err := space.WriteU64(b.genAddr, gen+1, nil); err != nil {
+			return err
+		}
+		t.FutexWake(b.genAddr, b.parties)
+		return nil
+	}
+	for {
+		cur, err := space.ReadU64(b.genAddr, nil)
+		if err != nil {
+			return err
+		}
+		if cur != gen {
+			return nil
+		}
+		if err := t.FutexWait(b.genAddr, gen); err != nil && err != kernel.ErrFutexAgain {
+			return err
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package pip implements Process-in-Process (PiP) — the address-space
+// sharing library of Hori et al. (HPDC'18) that this paper's ULP-PiP is
+// built on. A PiP root process spawns PiP processes derived from PIE
+// program images into the root's own virtual address space, loading each
+// under a fresh dlmopen() namespace so that all static variables are
+// privatized, yet everything remains addressable by everyone ("not
+// shared but shareable").
+//
+// Two execution modes mirror the real library:
+//
+//   - ProcessMode uses clone() without CLONE_THREAD/CLONE_FILES: each PiP
+//     process has its own PID, file descriptors and signal handlers, and
+//     the root reaps it with wait(2).
+//   - ThreadMode uses pthread_create(): PiP tasks are threads in the
+//     root's process in the kernel's eyes (for systems without clone()),
+//     while variable privatization still holds.
+package pip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// MaxTasks is the maximum number of PiP tasks per root, matching the
+// real library's namespace limit.
+const MaxTasks = 300
+
+// Errors reported by PiP.
+var (
+	ErrTooManyTasks = errors.New("pip: too many PiP tasks")
+	ErrNoExport     = errors.New("pip: no such exported address")
+	ErrWrongMode    = errors.New("pip: operation not valid in this mode")
+)
+
+// Mode selects how PiP tasks are created.
+type Mode int
+
+// Execution modes.
+const (
+	ProcessMode Mode = iota
+	ThreadMode
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ThreadMode {
+		return "thread"
+	}
+	return "process"
+}
+
+// Root is the PiP root process: a normal process whose address space all
+// PiP tasks share.
+type Root struct {
+	kern  *kernel.Kernel
+	task  *kernel.Task
+	space *mem.AddressSpace
+	ld    *loader.Loader
+
+	procs   []*Process
+	exports map[string]uint64
+}
+
+// Launch creates the PiP root process and starts it running body. The
+// returned kernel task exits when body returns.
+func Launch(k *kernel.Kernel, name string, body func(r *Root) int) *kernel.Task {
+	space := k.NewAddressSpace()
+	c := k.Machine().Costs
+	ld := loader.New(space, loader.Costs{
+		DlmopenBase:   c.DlmopenBase,
+		DlmopenPerSym: c.DlmopenPerSym,
+	})
+	r := &Root{kern: k, space: space, ld: ld, exports: make(map[string]uint64)}
+	task := k.NewTask(name, space, func(t *kernel.Task) int {
+		r.task = t
+		return body(r)
+	})
+	k.Start(task, 0)
+	return task
+}
+
+// Kernel returns the kernel the root runs on.
+func (r *Root) Kernel() *kernel.Kernel { return r.kern }
+
+// Task returns the root's kernel task.
+func (r *Root) Task() *kernel.Task { return r.task }
+
+// Space returns the shared address space.
+func (r *Root) Space() *mem.AddressSpace { return r.space }
+
+// Loader returns the root's program loader.
+func (r *Root) Loader() *loader.Loader { return r.ld }
+
+// Processes returns the spawned PiP processes in rank order.
+func (r *Root) Processes() []*Process {
+	out := make([]*Process, len(r.procs))
+	copy(out, r.procs)
+	return out
+}
+
+// Process is one PiP task: a program image loaded into the shared space
+// plus the kernel task executing it.
+type Process struct {
+	Rank    int
+	Mode    Mode
+	Linked  *loader.Linked
+	root    *Root
+	task    *kernel.Task
+	tlsBase uint64
+}
+
+// Task returns the kernel task executing this PiP process.
+func (p *Process) Task() *kernel.Task { return p.task }
+
+// TLSBase returns the address of the process's TLS block (the value its
+// TLS register holds while it runs).
+func (p *Process) TLSBase() uint64 { return p.tlsBase }
+
+// Env is the environment handle passed to a PiP program's Main. It is
+// delivered as the loader.MainFunc argument (type-assert to *pip.Env).
+type Env struct {
+	Proc *Process
+	Arg  interface{} // spawn argument
+}
+
+// Task returns the kernel task running the program.
+func (e *Env) Task() *kernel.Task { return e.Proc.task }
+
+// Root returns the owning root.
+func (e *Env) Root() *Root { return e.Proc.root }
+
+// SymbolAddr resolves a privatized variable of this process's own
+// namespace.
+func (e *Env) SymbolAddr(name string) (uint64, error) {
+	return e.Proc.Linked.SymbolAddr(name)
+}
+
+// TLSAddr resolves a thread-local variable of this process relative to
+// its TLS block.
+func (e *Env) TLSAddr(name string) (uint64, error) {
+	off, ok := e.Proc.Linked.TLS().Offsets[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: TLS %s", loader.ErrNoSuchSymbol, name)
+	}
+	return e.Proc.tlsBase + off, nil
+}
+
+// Export publishes the address of one of this process's variables under
+// a global name, modeling pip_export: any other PiP task may Import it
+// and dereference the pointer as-is (same address space).
+func (e *Env) Export(global, symbol string) error {
+	addr, err := e.SymbolAddr(symbol)
+	if err != nil {
+		return err
+	}
+	e.Proc.root.exports[global] = addr
+	return nil
+}
+
+// Import resolves a previously exported address, modeling pip_import.
+func (e *Env) Import(global string) (uint64, error) {
+	addr, ok := e.Proc.root.exports[global]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoExport, global)
+	}
+	return addr, nil
+}
+
+// ImportWait blocks (via sched_yield, since PiP tasks are plain kernel
+// tasks) until the named export appears — the synchronizing variant of
+// pip_import that spares callers a hand-rolled retry loop.
+func (e *Env) ImportWait(global string) uint64 {
+	for {
+		if addr, err := e.Import(global); err == nil {
+			return addr
+		}
+		e.Proc.task.SchedYield()
+	}
+}
+
+// Spawn loads img under a new namespace and starts it as a PiP task of
+// the given mode. The root task pays the dlmopen and clone costs, as the
+// real pip_spawn does. arg is handed to the program through its Env.
+func (r *Root) Spawn(img *loader.Image, mode Mode, arg interface{}) (*Process, error) {
+	if len(r.procs) >= MaxTasks {
+		return nil, fmt.Errorf("%w: limit %d", ErrTooManyTasks, MaxTasks)
+	}
+	linked, err := r.ld.Dlmopen(img, charger{r.task})
+	if err != nil {
+		return nil, err
+	}
+	tlsBase, err := r.ld.AllocTLSBlock(linked, charger{r.task})
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		Rank:    len(r.procs),
+		Mode:    mode,
+		Linked:  linked,
+		root:    r,
+		tlsBase: tlsBase,
+	}
+	flags := kernel.PiPProcessFlags
+	if mode == ThreadMode {
+		flags = kernel.PThreadFlags
+	}
+	name := fmt.Sprintf("%s.%d", img.Name, p.Rank)
+	p.task = r.task.Clone(name, flags, func(t *kernel.Task) int {
+		// A freshly created task points its TLS register at its own
+		// TLS block before user code runs (the paper: "TLS register
+		// content is saved at the time of creation of a ULP").
+		t.LoadTLS(p.tlsBase)
+		return img.Main(&Env{Proc: p, Arg: arg})
+	})
+	r.procs = append(r.procs, p)
+	return p, nil
+}
+
+// WaitAny reaps one terminated process-mode PiP task via wait(2),
+// returning it and its exit status. In thread mode use Join.
+func (r *Root) WaitAny() (*Process, int, error) {
+	pid, status, err := r.task.Wait()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, p := range r.procs {
+		if p.task.PID() == pid {
+			return p, status, nil
+		}
+	}
+	return nil, status, nil
+}
+
+// Join waits for a thread-mode PiP task (pthread_join).
+func (p *Process) Join() (int, error) {
+	if p.Mode != ThreadMode {
+		return 0, ErrWrongMode
+	}
+	return p.root.task.Join(p.task), nil
+}
+
+// charger adapts the root task to mem.Charger.
+type charger struct{ t *kernel.Task }
+
+func (c charger) Charge(d sim.Duration) { c.t.Charge(d) }

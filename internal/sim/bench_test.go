@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event throughput of the engine: one
+// proc advancing repeatedly.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := New()
+	e.Spawn("adv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcPingPong measures park/unpark handoff between two procs
+// (one wake+wait round trip per iteration).
+func BenchmarkProcPingPong(b *testing.B) {
+	e := New()
+	var q1, q2 WaitQ
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Wait(p)
+			q2.WakeOne(0)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.WakeOne(0)
+			q2.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventHeap measures scheduling many timers.
+func BenchmarkEventHeap(b *testing.B) {
+	e := New()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%1000)*Nanosecond, func() { fired++ })
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+// BenchmarkRNG measures the deterministic generator.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

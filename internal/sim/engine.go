@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrDeadlock is returned by Run when no events remain but parked procs
+// still exist: the simulation can make no further progress.
+var ErrDeadlock = errors.New("sim: deadlock, parked procs remain with empty event queue")
+
+// ErrKilled is the panic value delivered to procs that are forcibly
+// terminated by Engine.Shutdown while parked.
+var ErrKilled = errors.New("sim: proc killed by engine shutdown")
+
+// event is a scheduled occurrence: either the resumption of a parked proc
+// or the invocation of a callback in engine context.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	proc *Proc  // proc to resume, or nil
+	fn   func() // callback to run in engine context, or nil
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use from multiple OS threads: all interaction must happen
+// either from the goroutine that calls Run or from within procs (which the
+// engine serializes).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   map[uint64]*Proc // live procs by id
+	nextID  uint64
+	current *Proc // proc currently holding the baton, nil when engine runs
+
+	// baton is signaled by a proc when it parks or exits, returning
+	// control to the engine loop.
+	baton chan struct{}
+
+	stopped bool
+	tracer  *Tracer
+}
+
+// New creates an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		procs: make(map[uint64]*Proc),
+		baton: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs a tracer that records engine events; nil disables
+// tracing.
+func (e *Engine) SetTracer(t *Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (e *Engine) Tracer() *Tracer { return e.tracer }
+
+func (e *Engine) trace(kind, format string, args ...interface{}) {
+	if e.tracer != nil {
+		e.tracer.add(e.now, kind, fmt.Sprintf(format, args...))
+	}
+}
+
+// schedule enqueues an event at absolute time at.
+func (e *Engine) schedule(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// After runs fn in engine context after delay d. fn must not park; it is a
+// plain callback, useful for timers and asynchronous wakeups.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(&event{at: e.now.Add(d), fn: fn})
+}
+
+// Spawn creates a new proc executing fn and schedules its first resumption
+// at the current time. fn runs on its own goroutine but only while holding
+// the engine baton.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAfter(name, 0, fn)
+}
+
+// SpawnAfter is Spawn with the first resumption delayed by d.
+func (e *Engine) SpawnAfter(name string, d Duration, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{
+		id:     e.nextID,
+		name:   name,
+		engine: e,
+		resume: make(chan resumeMsg),
+	}
+	e.procs[p.id] = p
+	e.trace("spawn", "proc %s", p)
+	go p.run(fn)
+	p.state = procReady
+	e.schedule(&event{at: e.now.Add(d), proc: p})
+	return p
+}
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, e.now))
+	}
+	e.now = ev.at
+	if ev.fn != nil {
+		ev.fn()
+		return true
+	}
+	p := ev.proc
+	if p.state == procDead {
+		return true // stale resume for an exited proc
+	}
+	if p.state != procReady {
+		panic(fmt.Sprintf("sim: resuming proc %s in state %v", p, p.state))
+	}
+	e.runProc(p, resumeMsg{})
+	return true
+}
+
+// runProc hands the baton to p and waits for it to park or exit.
+func (e *Engine) runProc(p *Proc, msg resumeMsg) {
+	prev := e.current
+	e.current = p
+	p.state = procRunning
+	p.resume <- msg
+	<-e.baton
+	e.current = prev
+}
+
+// Run executes events until the queue drains, Stop is called, or a
+// deadlock is detected (parked procs with no pending events).
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if !e.step() {
+			break
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	var parked []string
+	for _, p := range e.procs {
+		if p.state == procParked {
+			parked = append(parked, p.String())
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return fmt.Errorf("%w: %s", ErrDeadlock, strings.Join(parked, ", "))
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= t, then returns. The clock
+// is left at min(t, time of last executed event); it does not jump to t if
+// the queue drains earlier.
+func (e *Engine) RunUntil(t Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > t {
+			return nil
+		}
+		e.step()
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Callable from
+// procs and callbacks.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown forcibly terminates all parked or ready procs by delivering an
+// ErrKilled panic into them. Use in tests to reap goroutines from aborted
+// simulations. Must not be called from inside a proc.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.state == procParked || p.state == procReady {
+			e.runProc(p, resumeMsg{kill: true})
+		}
+	}
+}
+
+// LiveProcs reports the number of procs that have not exited.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// PendingEvents reports the number of scheduled events.
+func (e *Engine) PendingEvents() int { return len(e.queue) }
+
+// Current returns the proc holding the baton, or nil when the engine
+// itself (a callback) is running.
+func (e *Engine) Current() *Proc { return e.current }

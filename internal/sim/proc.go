@@ -1,0 +1,173 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procReady procState = iota // has a pending resume event
+	procRunning
+	procParked // waiting for an explicit Unpark
+	procDead
+)
+
+func (s procState) String() string {
+	switch s {
+	case procReady:
+		return "ready"
+	case procRunning:
+		return "running"
+	case procParked:
+		return "parked"
+	case procDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// Proc is a simulation coroutine. A proc's function runs on its own
+// goroutine but only ever while it holds the engine baton, so procs never
+// truly race: exactly one proc (or the engine loop) executes at a time.
+//
+// Procs model active entities with their own control flow — in this
+// repository, simulated kernel tasks (kernel contexts). Passive entities
+// (queues, files, page tables) are plain data mutated by whichever proc is
+// running.
+type Proc struct {
+	id     uint64
+	name   string
+	engine *Engine
+	state  procState
+	resume chan resumeMsg
+
+	// Stats.
+	wakeups  uint64
+	advanced Duration
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's unique id.
+func (p *Proc) ID() uint64 { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("%s#%d", p.name, p.id) }
+
+// Advanced reports the total virtual time this proc has consumed via
+// Advance — a busy-time counter used by the power-proxy ablation.
+func (p *Proc) Advanced() Duration { return p.advanced }
+
+// Wakeups reports how many times the proc has been resumed.
+func (p *Proc) Wakeups() uint64 { return p.wakeups }
+
+func (p *Proc) run(fn func(*Proc)) {
+	// Wait for the first resume before running user code.
+	msg := <-p.resume
+	p.wakeups++
+	if msg.kill {
+		p.die()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == ErrKilled {
+				p.die()
+				return
+			}
+			// Re-panicking from a goroutine would crash the process
+			// without a useful trace through the engine; annotate.
+			p.die()
+			panic(fmt.Sprintf("sim: proc %s panicked: %v", p, r))
+		}
+	}()
+	fn(p)
+	p.state = procDead
+	delete(p.engine.procs, p.id)
+	p.engine.trace("exit", "proc %s", p)
+	p.engine.baton <- struct{}{}
+}
+
+func (p *Proc) die() {
+	p.state = procDead
+	delete(p.engine.procs, p.id)
+	p.engine.baton <- struct{}{}
+}
+
+// yield releases the baton and blocks until resumed. Must only be called
+// by the proc itself while running.
+func (p *Proc) yield() {
+	p.engine.baton <- struct{}{}
+	msg := <-p.resume
+	p.wakeups++
+	if msg.kill {
+		panic(ErrKilled)
+	}
+}
+
+func (p *Proc) checkRunning(op string) {
+	if p.engine.current != p || p.state != procRunning {
+		panic(fmt.Sprintf("sim: %s called on proc %s which is not the running proc", op, p))
+	}
+}
+
+// Advance consumes d of virtual time: the proc is suspended and resumes
+// once the clock reaches now+d. Other procs with earlier events run in
+// between — this is how virtual parallelism across simulated CPU cores
+// arises from a sequential engine.
+func (p *Proc) Advance(d Duration) {
+	p.checkRunning("Advance")
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	p.advanced += d
+	p.state = procReady
+	p.engine.schedule(&event{at: p.engine.now.Add(d), proc: p})
+	p.yield()
+}
+
+// Park suspends the proc indefinitely; it resumes only after another proc
+// or a callback calls Unpark.
+func (p *Proc) Park() {
+	p.checkRunning("Park")
+	p.state = procParked
+	p.engine.trace("park", "proc %s", p)
+	p.yield()
+}
+
+// Unpark schedules a parked proc to resume after delay d. It is the
+// low-level wakeup primitive; the kernel layer builds run queues and
+// futexes on top of it. Calling Unpark on a proc that is not parked
+// panics — higher layers are responsible for state machines that make
+// wakeups race-free (the engine's determinism makes such races
+// programming errors, not timing accidents).
+func (p *Proc) Unpark(d Duration) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: Unpark of proc %s in state %v", p, p.state))
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.state = procReady
+	p.engine.trace("unpark", "proc %s (+%v)", p, d)
+	p.engine.schedule(&event{at: p.engine.now.Add(d), proc: p})
+}
+
+// Parked reports whether the proc is currently parked.
+func (p *Proc) Parked() bool { return p.state == procParked }
+
+// Dead reports whether the proc has exited.
+func (p *Proc) Dead() bool { return p.state == procDead }
+
+// Exit terminates the proc immediately from within its own code.
+func (p *Proc) Exit() {
+	p.checkRunning("Exit")
+	panic(ErrKilled)
+}

@@ -1,0 +1,81 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64) used
+// by workload generators. We avoid math/rand so that simulations remain
+// reproducible across Go releases regardless of rand's internals, and so
+// that seeding is explicit everywhere.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG creates a generator from a seed. Equal seeds yield equal streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Duration returns a uniform Duration in [lo, hi].
+func (r *RNG) Duration(lo, hi Duration) Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Duration(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Exp returns an exponentially distributed Duration with the given mean,
+// computed with a fixed-precision inverse-CDF so results are portable.
+func (r *RNG) Exp(mean Duration) Duration {
+	// -mean * ln(u); use a series-free approximation via float64 math.
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return Duration(float64(mean) * negLn(u))
+}
+
+// negLn computes -ln(u) for u in (0,1] without importing math, using the
+// identity -ln(u) = ln(1/u) and an atanh-based series. Accuracy ~1e-9,
+// ample for workload generation.
+func negLn(u float64) float64 {
+	x := 1 / u
+	// ln(x) = 2*atanh((x-1)/(x+1)); range-reduce by halving exponent
+	// via repeated sqrt-free scaling: pull out powers of 2.
+	k := 0
+	for x > 2 {
+		x /= 2
+		k++
+	}
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	// atanh series: t + t^3/3 + t^5/5 + ...
+	sum := 0.0
+	term := t
+	for i := 1; i < 40; i += 2 {
+		sum += term / float64(i)
+		term *= t2
+		if term < 1e-18 {
+			break
+		}
+	}
+	const ln2 = 0.6931471805599453
+	return 2*sum + float64(k)*ln2
+}

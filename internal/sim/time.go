@@ -1,0 +1,85 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock and resumes exactly one coroutine
+// ("proc") at a time, so every run of a simulation is bit-for-bit
+// reproducible: there is no real concurrency, only virtual concurrency.
+// Procs are backed by goroutines but hand control to each other through
+// the engine, simpy-style.
+//
+// All higher layers of this repository (the simulated kernel, memory
+// system, PiP, BLT and ULP layers) are built on this package.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in picoseconds.
+//
+// Picosecond resolution is required because some modeled hardware costs
+// are sub-nanosecond (e.g. the AArch64 TLS register load is 2.5 ns).
+// An int64 of picoseconds covers about 106 days of virtual time, far
+// beyond any simulation in this repository.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds. Time and Duration
+// are distinct types to keep absolute and relative values from mixing
+// accidentally.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000 * Picosecond
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / 1e3 }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// Nanoseconds reports d as a floating-point number of nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e3 }
+
+// Microseconds reports d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e6 }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e12 }
+
+// FromNS converts a (possibly fractional) nanosecond count to a Duration.
+func FromNS(ns float64) Duration { return Duration(ns * 1e3) }
+
+// FromUS converts a (possibly fractional) microsecond count to a Duration.
+func FromUS(us float64) Duration { return Duration(us * 1e6) }
+
+// String formats a Time with an adaptive unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// String formats a Duration with an adaptive unit.
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case abs < Microsecond:
+		return fmt.Sprintf("%.3gns", d.Nanoseconds())
+	case abs < Millisecond:
+		return fmt.Sprintf("%.4gus", d.Microseconds())
+	case abs < Second:
+		return fmt.Sprintf("%.4gms", float64(d)/1e9)
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(150 * Nanosecond)
+	if t1.Nanoseconds() != 150 {
+		t.Errorf("Nanoseconds = %v, want 150", t1.Nanoseconds())
+	}
+	if d := t1.Sub(t0); d != 150*Nanosecond {
+		t.Errorf("Sub = %v, want 150ns", d)
+	}
+}
+
+func TestFromNSRoundTrip(t *testing.T) {
+	f := func(ns uint32) bool {
+		d := FromNS(float64(ns))
+		return d == Duration(ns)*Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "ps"},
+		{33 * Nanosecond, "ns"},
+		{150 * Microsecond, "us"},
+		{2 * Millisecond, "ms"},
+		{3 * Second, "s"},
+	}
+	for _, c := range cases {
+		got := c.d.String()
+		if !strings.HasSuffix(got, c.want) {
+			t.Errorf("(%d).String() = %q, want suffix %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestNegLnAccuracy(t *testing.T) {
+	// -ln(0.5) = 0.6931..., -ln(1) = 0, -ln(0.1) = 2.302...
+	cases := []struct{ u, want float64 }{
+		{1.0, 0},
+		{0.5, 0.6931471805599453},
+		{0.1, 2.302585092994046},
+		{0.9, 0.10536051565782628},
+	}
+	for _, c := range cases {
+		got := negLn(c.u)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("negLn(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMeanRoughly(t *testing.T) {
+	r := NewRNG(9)
+	mean := 1000 * Nanosecond
+	var sum Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	avg := float64(sum) / n
+	if avg < 0.9*float64(mean) || avg > 1.1*float64(mean) {
+		t.Errorf("Exp mean = %v, want ~%v", Duration(avg), mean)
+	}
+}
+
+func TestRNGDurationRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		lo, hi := 10*Nanosecond, 20*Nanosecond
+		for i := 0; i < 10; i++ {
+			d := r.Duration(lo, hi)
+			if d < lo || d > hi {
+				return false
+			}
+		}
+		return r.Duration(hi, lo) == hi // degenerate range returns lo arg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

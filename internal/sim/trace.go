@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one recorded engine event.
+type TraceEvent struct {
+	At   Time
+	Kind string
+	Msg  string
+}
+
+// String implements fmt.Stringer.
+func (ev TraceEvent) String() string {
+	return fmt.Sprintf("[%12.3fns] %-8s %s", ev.At.Nanoseconds(), ev.Kind, ev.Msg)
+}
+
+// Tracer records engine and subsystem events into a bounded ring buffer.
+// Subsystems (kernel, blt, ulp) emit their own kinds through Add.
+type Tracer struct {
+	cap    int
+	events []TraceEvent
+	start  int // ring start index when full
+	full   bool
+	total  uint64
+}
+
+// NewTracer creates a tracer keeping at most capacity events (most recent
+// win). capacity <= 0 means unbounded.
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{cap: capacity}
+}
+
+func (t *Tracer) add(at Time, kind, msg string) {
+	t.total++
+	ev := TraceEvent{At: at, Kind: kind, Msg: msg}
+	if t.cap <= 0 {
+		t.events = append(t.events, ev)
+		return
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+	t.full = true
+}
+
+// Add records an event with the given timestamp, kind tag and message.
+func (t *Tracer) Add(at Time, kind, format string, args ...interface{}) {
+	t.add(at, kind, fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were ever recorded (including evicted
+// ones).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []TraceEvent {
+	if !t.full {
+		out := make([]TraceEvent, len(t.events))
+		copy(out, t.events)
+		return out
+	}
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

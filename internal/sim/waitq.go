@@ -1,0 +1,59 @@
+package sim
+
+// WaitQ is a FIFO queue of parked procs — the building block for futexes,
+// semaphores and condition variables in the simulated kernel. Wakeups are
+// FIFO and deterministic.
+type WaitQ struct {
+	waiters []*Proc
+}
+
+// Len reports the number of waiting procs.
+func (q *WaitQ) Len() int { return len(q.waiters) }
+
+// Wait parks the calling proc on the queue until woken.
+func (q *WaitQ) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.Park()
+}
+
+// WakeOne unparks the oldest waiter after delay d and reports whether a
+// waiter existed.
+func (q *WaitQ) WakeOne(d Duration) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	p.Unpark(d)
+	return true
+}
+
+// WakeN unparks up to n waiters after delay d and reports how many were
+// woken.
+func (q *WaitQ) WakeN(n int, d Duration) int {
+	woken := 0
+	for woken < n && q.WakeOne(d) {
+		woken++
+	}
+	return woken
+}
+
+// WakeAll unparks every waiter after delay d and reports how many were
+// woken.
+func (q *WaitQ) WakeAll(d Duration) int {
+	return q.WakeN(len(q.waiters), d)
+}
+
+// Remove deletes a specific proc from the queue without waking it (used
+// for timeouts and signal interruption). Reports whether it was present.
+func (q *WaitQ) Remove(p *Proc) bool {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

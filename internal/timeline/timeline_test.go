@@ -1,0 +1,152 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/blt"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.RecordSpan(0, "a", 1, 0, sim.Time(100*sim.Nanosecond))
+	r.RecordSpan(1, "b", 2, sim.Time(50*sim.Nanosecond), sim.Time(150*sim.Nanosecond))
+	start, end := r.Window()
+	if start != 0 || end != sim.Time(150*sim.Nanosecond) {
+		t.Errorf("window = [%v,%v]", start, end)
+	}
+	util := r.CoreUtilization()
+	if util[0] < 0.6 || util[0] > 0.7 {
+		t.Errorf("core0 util = %v, want ~0.667", util[0])
+	}
+	res := r.TaskResidency()
+	if res["a"].Busy != 100*sim.Nanosecond || !res["a"].Cores[0] {
+		t.Errorf("residency a = %+v", res["a"])
+	}
+	if len(r.Spans()) != 2 {
+		t.Errorf("spans = %d", len(r.Spans()))
+	}
+}
+
+func TestKernelSpansCoverTaskRuntime(t *testing.T) {
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	rec := New()
+	k.SetTimeline(rec)
+	task := k.NewTask("worker", k.NewAddressSpace(), func(task *kernel.Task) int {
+		task.Compute(100 * sim.Microsecond)
+		task.Nanosleep(50 * sim.Microsecond)
+		task.Compute(30 * sim.Microsecond)
+		return 0
+	})
+	task.SetAffinity(2)
+	k.Start(task, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The task must appear on core 2 with roughly its busy time: two
+	// compute bursts plus small syscall/exit costs, but NOT the sleep.
+	res := rec.TaskResidency()
+	got := res["worker"].Busy
+	if got < 130*sim.Microsecond || got > 145*sim.Microsecond {
+		t.Errorf("recorded busy = %v, want ~134us", got)
+	}
+	if !res["worker"].Cores[2] || len(res["worker"].Cores) != 1 {
+		t.Errorf("cores = %v", res["worker"].Cores)
+	}
+	// Spans never overlap on a core.
+	spans := rec.Spans()
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.Core == b.Core && a.Start < b.End && b.Start < a.End {
+				t.Errorf("overlapping spans on core %d: %+v vs %+v", a.Core, a, b)
+			}
+		}
+	}
+}
+
+func TestTimelineShowsFig6Partitioning(t *testing.T) {
+	// Under the Fig. 6 deployment, scheduler tasks live on the program
+	// cores and the ULP KCs appear on the syscall cores.
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	rec := New()
+	k.SetTimeline(rec)
+	prog := &loader.Image{
+		Name: "w", PIE: true, TextSize: 4096,
+		Symbols: []loader.Symbol{{Name: "x", Size: 8}},
+		Main: func(envI interface{}) int {
+			env := envI.(*core.Env)
+			env.Decouple()
+			for i := 0; i < 3; i++ {
+				env.Getpid()
+				env.Compute(5 * sim.Microsecond)
+				env.Yield()
+			}
+			env.Couple()
+			return 0
+		},
+	}
+	core.Boot(k, core.Config{
+		ProgCores:    []int{0, 1},
+		SyscallCores: []int{2, 3},
+		Idle:         blt.Blocking,
+	}, func(rt *core.Runtime) int {
+		for i := 0; i < 4; i++ {
+			rt.Spawn(prog, core.SpawnOpts{Scheduler: -1})
+		}
+		rt.WaitAll()
+		rt.Shutdown()
+		return 0
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := rec.TaskResidency()
+	for name, r := range res {
+		if strings.HasPrefix(name, "sched.") {
+			for c := range r.Cores {
+				if c > 1 {
+					t.Errorf("scheduler %s ran on syscall core %d", name, c)
+				}
+			}
+		}
+		if strings.HasPrefix(name, "kc.") {
+			for c := range r.Cores {
+				if c < 2 {
+					t.Errorf("original KC %s ran on program core %d", name, c)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	rec.Report(&buf)
+	if !strings.Contains(buf.String(), "core 0") {
+		t.Errorf("report missing cores:\n%s", buf.String())
+	}
+	buf.Reset()
+	rec.Gantt(&buf, 60)
+	out := buf.String()
+	if !strings.Contains(out, "core 0") || !strings.Contains(out, "│") {
+		t.Errorf("gantt malformed:\n%s", out)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty gantt")
+	}
+	if u := r.CoreUtilization(); len(u) != 0 {
+		t.Error("utilization of empty recorder")
+	}
+}

@@ -1,0 +1,146 @@
+package uctx
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// TestRandomCarrierMigration steps a set of contexts from randomly
+// chosen carrier tasks and checks: each context observes exactly the
+// carrier that stepped it, progress counts are exact, and stale
+// snapshots are always rejected.
+func TestRandomCarrierMigration(t *testing.T) {
+	for _, seed := range []uint64{5, 11, 404} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			e := sim.New()
+			k := kernel.New(e, arch.Wallaby())
+			rng := sim.NewRNG(seed)
+			const nCtx = 5
+			const steps = 40
+
+			// Each context records the PID of every carrier that ran it.
+			seen := make([][]int, nCtx)
+			ctxs := make([]*Context, nCtx)
+			for i := 0; i < nCtx; i++ {
+				i := i
+				ctxs[i] = New(fmt.Sprintf("c%d", i), func(c *Context) {
+					for {
+						seen[i] = append(seen[i], c.Carrier().TGID())
+						c.Yield(nil)
+					}
+				})
+			}
+
+			// Driver task with two helper carriers.
+			var carriers []*kernel.Task
+			expect := make([][]int, nCtx) // PIDs we expect each ctx to record
+			driver := k.NewTask("driver", k.NewAddressSpace(), func(task *kernel.Task) int {
+				staleRejects := 0
+				for s := 0; s < steps; s++ {
+					ci := rng.Intn(nCtx)
+					carrier := carriers[rng.Intn(len(carriers))]
+					// Occasionally try a stale snapshot resume.
+					if rng.Intn(4) == 0 && ctxs[ci].Steps() > 0 {
+						snap := ctxs[ci].SnapshotNow()
+						ctxs[ci].Step(carrierSelf(task, carrier)) // advances epoch
+						expect[ci] = append(expect[ci], carrierSelf(task, carrier).TGID())
+						if _, err := ctxs[ci].StepFrom(snap, task); err == nil {
+							t.Error("stale snapshot accepted")
+						} else {
+							staleRejects++
+						}
+						continue
+					}
+					c := carrierSelf(task, carrier)
+					ctxs[ci].Step(c)
+					expect[ci] = append(expect[ci], c.TGID())
+				}
+				if staleRejects == 0 {
+					t.Log("no stale-resume attempts hit; seed too tame")
+				}
+				for _, c := range ctxs {
+					c.Kill()
+				}
+				return 0
+			})
+			// All stepping happens from the driver task itself: the
+			// "carriers" vary logically via distinct kernel tasks only
+			// when they are running, which needs them to do the Step.
+			// For this property we simplify: the driver is the sole
+			// kernel task, so every carrier is the driver. The per-step
+			// expectation still checks the exact recording behaviour.
+			carriers = []*kernel.Task{driver}
+			k.Start(driver, 0)
+			if err := e.Run(); err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			for i := range ctxs {
+				if len(seen[i]) != len(expect[i]) {
+					t.Errorf("ctx %d ran %d times, want %d", i, len(seen[i]), len(expect[i]))
+					continue
+				}
+				for j := range seen[i] {
+					if seen[i][j] != expect[i][j] {
+						t.Errorf("ctx %d step %d saw pid %d, want %d", i, j, seen[i][j], expect[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// carrierSelf returns the task that is actually executing (the driver);
+// kept as a seam for the multi-carrier variant below.
+func carrierSelf(running *kernel.Task, _ *kernel.Task) *kernel.Task { return running }
+
+// TestTwoKernelTasksInterleaveOneContext has two genuine kernel tasks
+// alternately stepping one context through a shared turnstile, verifying
+// real cross-task migration under the engine's scheduling.
+func TestTwoKernelTasksInterleaveOneContext(t *testing.T) {
+	e := sim.New()
+	k := kernel.New(e, arch.Albireo())
+	const rounds = 10
+	var pids []int
+	c := New("shared", func(c *Context) {
+		for {
+			pids = append(pids, c.Carrier().TGID())
+			c.Yield(nil)
+		}
+	})
+	turn := 0 // whose turn: 0 = a, 1 = b
+	mk := func(id int, name string, core int) *kernel.Task {
+		task := k.NewTask(name, k.NewAddressSpace(), func(task *kernel.Task) int {
+			for i := 0; i < rounds; i++ {
+				for turn != id {
+					task.SchedYield()
+				}
+				c.Step(task)
+				turn = 1 - id
+			}
+			return 0
+		})
+		task.SetAffinity(core)
+		return task
+	}
+	a := mk(0, "a", 0)
+	b := mk(1, "b", 0) // same core: interleaving via sched_yield
+	k.Start(a, 0)
+	k.Start(b, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	c.Kill()
+	if len(pids) != 2*rounds {
+		t.Fatalf("context ran %d times, want %d", len(pids), 2*rounds)
+	}
+	for i := 0; i < len(pids)-1; i++ {
+		if pids[i] == pids[i+1] {
+			t.Fatalf("carrier did not alternate at step %d: %v", i, pids)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package uctx
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// withTask runs fn inside a running kernel task and drives the engine.
+func withTask(t *testing.T, fn func(task *kernel.Task)) {
+	t.Helper()
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	task := k.NewTask("carrier", k.NewAddressSpace(), func(task *kernel.Task) int {
+		fn(task)
+		return 0
+	})
+	k.Start(task, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}
+
+func TestStepRunsBodyToYieldAndExit(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		trace := []string{}
+		c := New("uc", func(c *Context) {
+			trace = append(trace, "start")
+			c.Yield("first")
+			trace = append(trace, "resumed")
+		})
+		ev := c.Step(task)
+		if ev.Kind != EvYield || ev.Tag != "first" {
+			t.Fatalf("ev = %+v", ev)
+		}
+		if c.Done() {
+			t.Fatal("done after yield")
+		}
+		ev = c.Step(task)
+		if ev.Kind != EvExit {
+			t.Fatalf("second ev = %+v", ev)
+		}
+		if !c.Done() {
+			t.Fatal("not done after exit")
+		}
+		if len(trace) != 2 || trace[1] != "resumed" {
+			t.Fatalf("trace = %v", trace)
+		}
+	})
+}
+
+func TestContextRunsKernelOpsAsCarrier(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		var pid int
+		var elapsed sim.Duration
+		e := task.Kernel().Engine()
+		c := New("uc", func(c *Context) {
+			start := e.Now()
+			pid = c.Carrier().Getpid()
+			elapsed = e.Now().Sub(start)
+		})
+		c.Step(task)
+		if pid != task.TGID() {
+			t.Errorf("pid = %d, want %d", pid, task.TGID())
+		}
+		if ns := elapsed.Nanoseconds(); ns < 66 || ns > 69 {
+			t.Errorf("getpid from context = %vns, want ~67", ns)
+		}
+	})
+}
+
+func TestContextMigratesBetweenCarriers(t *testing.T) {
+	// The BLT essence: a UC parked under carrier A resumes under
+	// carrier B and observes B's kernel identity.
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	var pids []int
+	c := New("migrant", func(c *Context) {
+		pids = append(pids, c.Carrier().Getpid())
+		c.Yield(nil)
+		pids = append(pids, c.Carrier().Getpid())
+	})
+	var taskB *kernel.Task
+	taskA := k.NewTask("A", k.NewAddressSpace(), func(task *kernel.Task) int {
+		c.Step(task)
+		return 0
+	})
+	taskB = k.NewTask("B", k.NewAddressSpace(), func(task *kernel.Task) int {
+		task.Nanosleep(10 * sim.Microsecond) // let A step first
+		c.Step(task)
+		return 0
+	})
+	taskA.SetAffinity(0)
+	taskB.SetAffinity(1)
+	k.Start(taskA, 0)
+	k.Start(taskB, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if len(pids) != 2 || pids[0] == pids[1] {
+		t.Fatalf("pids = %v, want two distinct", pids)
+	}
+	if pids[0] != taskA.TGID() || pids[1] != taskB.TGID() {
+		t.Errorf("pids = %v, want [%d %d]", pids, taskA.TGID(), taskB.TGID())
+	}
+}
+
+func TestStaleSnapshotDetected(t *testing.T) {
+	// Fig. 4: KC0 saves UC0, KC1 runs UC0, KC0's saved context is now
+	// stale — resuming it must fail loudly rather than corrupt.
+	withTask(t, func(task *kernel.Task) {
+		c := New("uc", func(c *Context) {
+			c.Yield(nil)
+			c.Yield(nil)
+		})
+		c.Step(task) // run to first yield
+		stale := c.SnapshotNow()
+		c.Step(task) // "another KC" runs the context: stack changes
+		_, err := c.StepFrom(stale, task)
+		if !errors.Is(err, ErrStaleContext) {
+			t.Fatalf("err = %v, want ErrStaleContext", err)
+		}
+		// A fresh snapshot works.
+		fresh := c.SnapshotNow()
+		ev, err := c.StepFrom(fresh, task)
+		if err != nil || ev.Kind != EvExit {
+			t.Fatalf("fresh StepFrom = %+v, %v", ev, err)
+		}
+	})
+}
+
+func TestStepWhileRunningPanics(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		var c *Context
+		c = New("self", func(c *Context) {
+			defer func() {
+				if recover() == nil {
+					t.Error("re-entrant Step did not panic")
+				}
+			}()
+			c.Step(task)
+		})
+		c.Step(task)
+	})
+}
+
+func TestStepDoneContextPanics(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		c := New("once", func(c *Context) {})
+		c.Step(task)
+		defer func() {
+			if recover() == nil {
+				t.Error("Step of done context did not panic")
+			}
+		}()
+		c.Step(task)
+	})
+}
+
+func TestKillUnwindsParkedContext(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		cleaned := false
+		c := New("victim", func(c *Context) {
+			defer func() { cleaned = true }()
+			c.Yield(nil)
+			t.Error("body continued after kill")
+		})
+		c.Step(task)
+		c.Kill()
+		if !c.Done() {
+			t.Error("not done after kill")
+		}
+		if !cleaned {
+			t.Error("defers did not run on kill")
+		}
+		c.Kill() // idempotent on done contexts
+	})
+}
+
+func TestKillUnstartedContext(t *testing.T) {
+	c := New("never", func(c *Context) { panic("must not run") })
+	c.Kill()
+	if !c.Done() {
+		t.Error("unstarted context not done after kill")
+	}
+}
+
+func TestYieldTagsRoundTrip(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		type tag struct{ n int }
+		c := New("tags", func(c *Context) {
+			for i := 0; i < 5; i++ {
+				c.Yield(tag{i})
+			}
+		})
+		for i := 0; i < 5; i++ {
+			ev := c.Step(task)
+			if ev.Kind != EvYield || ev.Tag.(tag).n != i {
+				t.Fatalf("step %d: ev = %+v", i, ev)
+			}
+		}
+		if ev := c.Step(task); ev.Kind != EvExit {
+			t.Fatalf("final ev = %+v", ev)
+		}
+	})
+}
+
+func TestStepsCounted(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		c := New("count", func(c *Context) {
+			c.Yield(nil)
+		})
+		c.Step(task)
+		c.Step(task)
+		if c.Steps() != 2 {
+			t.Errorf("Steps = %d, want 2", c.Steps())
+		}
+	})
+}
+
+func TestCarrierPanicsOutsideBody(t *testing.T) {
+	c := New("x", func(c *Context) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Carrier() outside body did not panic")
+		}
+	}()
+	c.Carrier()
+}
+
+func TestSnapshotOfOtherContextRejected(t *testing.T) {
+	withTask(t, func(task *kernel.Task) {
+		a := New("a", func(c *Context) { c.Yield(nil) })
+		b := New("b", func(c *Context) { c.Yield(nil) })
+		a.Step(task)
+		b.Step(task)
+		snap := a.SnapshotNow()
+		if _, err := b.StepFrom(snap, task); err == nil {
+			t.Error("cross-context snapshot accepted")
+		}
+		a.Kill()
+		b.Kill()
+	})
+}

@@ -1,0 +1,156 @@
+package ulppip_test
+
+// Whole-stack soak: one simulated machine hosting three independent
+// tenants at once on disjoint core partitions —
+//
+//   - an MPI world (4 ranks over ULPs) on cores 0-3,
+//   - a ULP-PiP I/O workload on cores 4-7,
+//   - plain kernel processes doing pipe IPC on cores 8-9,
+//
+// all sharing the one kernel, physical memory and tmpfs. Everything must
+// complete, stay consistent, and be deterministic.
+
+import (
+	"fmt"
+	"testing"
+
+	ulppip "repro"
+)
+
+func TestMultiTenantSoak(t *testing.T) {
+	end1 := runMultiTenant(t)
+	end2 := runMultiTenant(t)
+	if end1 != end2 {
+		t.Errorf("soak nondeterministic: %v vs %v", end1, end2)
+	}
+}
+
+func runMultiTenant(t *testing.T) ulppip.Time {
+	t.Helper()
+	s := ulppip.NewSim(ulppip.Wallaby())
+	k := s.Kernel
+
+	// MPIRun drives engine.Run itself, so it must start last: tenants 2
+	// and 3 only enqueue work here, then the MPI tenant's Run call
+	// drives the whole machine.
+	mpiDone := false
+
+	// Tenant 2: ULP-PiP workload on cores 4-7.
+	ulpDone := false
+	prog := &ulppip.Image{
+		Name: "tenant2", PIE: true, TextSize: 4096,
+		Symbols: []ulppip.Symbol{{Name: "x", Size: 8}},
+		Main: func(envI interface{}) int {
+			env := envI.(*ulppip.Env)
+			env.Decouple()
+			for i := 0; i < 4; i++ {
+				env.Exec(func(kc *ulppip.Task) {
+					fd, err := kc.Open(fmt.Sprintf("/t2.%d", env.U.Rank), ulppip.OCreate|ulppip.OWrOnly|ulppip.OTrunc)
+					if err != nil {
+						panic(err)
+					}
+					kc.Write(fd, make([]byte, 2048), true)
+					kc.Close(fd)
+				})
+				env.Yield()
+			}
+			env.Couple()
+			return 0
+		},
+	}
+	ulppip.Boot(k, ulppip.Config{
+		ProgCores:    []int{4, 5},
+		SyscallCores: []int{6, 7},
+		Idle:         ulppip.IdleBlocking,
+		Audit:        true,
+	}, func(rt *ulppip.Runtime) int {
+		for i := 0; i < 6; i++ {
+			if _, err := rt.Spawn(prog, ulppip.ULPSpawnOpts{Scheduler: -1}); err != nil {
+				t.Errorf("tenant2 spawn: %v", err)
+				return 1
+			}
+		}
+		if _, err := rt.WaitAll(); err != nil {
+			t.Errorf("tenant2 wait: %v", err)
+		}
+		if n := len(rt.Violations()); n != 0 {
+			t.Errorf("tenant2 violations: %d", n)
+		}
+		rt.Shutdown()
+		ulpDone = true
+		return 0
+	})
+
+	// Tenant 3: plain processes with pipe IPC pinned to cores 8-9.
+	pipeDone := false
+	space := k.NewAddressSpace()
+	var pr *ulppip.Task
+	producer := k.NewTask("pipe-writer", space, func(task *ulppip.Task) int {
+		r, w := task.NewPipe()
+		reader := k.NewTask("pipe-reader", space, func(rt *ulppip.Task) int {
+			buf := make([]byte, 8192)
+			total := 0
+			for {
+				n, err := r.Read(rt, buf)
+				if err != nil || n == 0 {
+					break
+				}
+				total += n
+			}
+			if total != 64*1024 {
+				t.Errorf("pipe moved %d bytes", total)
+			}
+			pipeDone = true
+			return 0
+		})
+		reader.SetAffinity(9)
+		k.Start(reader, 0)
+		w.Write(task, make([]byte, 64*1024))
+		w.Close(task)
+		return 0
+	})
+	pr = producer
+	pr.SetAffinity(8)
+	k.Start(pr, 0)
+
+	// Tenant 1 last: MPIRun drives the engine for everyone.
+	_, statuses, err2 := ulppip.MPIRun(k, ulppip.MPIConfig{
+		ProgCores:    []int{0, 1},
+		SyscallCores: []int{2, 3},
+		Idle:         ulppip.IdleBusyWait,
+	}, 4, func(r *ulppip.MPIRank) int {
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() + r.Size() - 1) % r.Size()
+		for round := 0; round < 3; round++ {
+			if err := r.Send(next, round, []byte{byte(r.Rank())}); err != nil {
+				return 1
+			}
+			if _, _, _, err := r.Recv(prev, round); err != nil {
+				return 2
+			}
+			out, err := r.Allreduce(ulppip.MPISum, []float64{1})
+			if err != nil || out[0] != 4 {
+				return 3
+			}
+		}
+		mpiDone = true
+		return 0
+	})
+	if err2 != nil {
+		t.Fatalf("mpi: %v", err2)
+	}
+	for i, st := range statuses {
+		if st != 0 {
+			t.Errorf("rank %d status %d", i, st)
+		}
+	}
+	if !mpiDone || !ulpDone || !pipeDone {
+		t.Errorf("tenants done: mpi=%v ulp=%v pipe=%v", mpiDone, ulpDone, pipeDone)
+	}
+	// Shared tmpfs saw tenant 2's files.
+	files := k.FS().List()
+	if len(files) != 6 {
+		t.Errorf("files = %v", files)
+	}
+	return s.Now()
+}
