@@ -7,28 +7,41 @@
 //	ulpbench -exp all
 //	ulpbench -exp table5
 //	ulpbench -exp fig7 -csv out
+//	ulpbench -exp fig7 -parallel 8
+//	ulpbench -exp all -json
 //	ulpbench -exp ablate-idle
 //
 // Experiments: table3, table4, table5, fig7, fig8 (the paper's §VI),
 // ablate-idle (A1), ablate-tls (A2), fig6-scenario (A5), all.
+//
+// -parallel N fans the experiment grids out over N workers (default
+// GOMAXPROCS); each job runs on its own Engine and results are collected
+// by index, so the output is byte-identical at any width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
 )
 
+const jsonPath = "BENCH_ulpbench.json"
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
 	runs := flag.Int("runs", 3, "repetitions per measurement (minimum is reported)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiment sweeps (1 = serial)")
 	csvPrefix := flag.String("csv", "", "also write figure data as <prefix>-<fig>-<machine>.csv")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to "+jsonPath)
 	reportPath := flag.String("report", "", "write a full markdown report to this file (runs everything)")
 	flag.Parse()
 	bench.Runs = *runs
+	bench.Parallelism = *parallel
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
 		if err != nil {
@@ -44,127 +57,210 @@ func main() {
 		fmt.Println("report written to", *reportPath)
 		return
 	}
-	if err := run(*exp, *csvPrefix); err != nil {
+	var recs *[]bench.Record
+	if *jsonOut {
+		recs = new([]bench.Record)
+	}
+	if err := run(*exp, *csvPrefix, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "ulpbench:", err)
 		os.Exit(1)
 	}
+	if recs != nil {
+		if err := bench.WriteRecordsJSON(jsonPath, *recs); err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchmark records written to", jsonPath)
+	}
 }
 
-func run(exp, csvPrefix string) error {
+func run(exp, csvPrefix string, recs *[]bench.Record) error {
 	w := os.Stdout
 	all := exp == "all"
 	matched := false
 
-	if all || exp == "table3" {
+	// harness wraps one experiment, adding a wall-clock + allocation row
+	// to the JSON records — the cost of the harness itself, as opposed to
+	// the virtual-time results the experiment produces.
+	harness := func(name string, fn func() error) error {
 		matched = true
-		r, err := bench.MachineResults(bench.Table3)
-		if err != nil {
+		if recs == nil {
+			return fn()
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		err := fn()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		*recs = append(*recs, bench.Record{
+			Experiment: name, Series: "harness",
+			Ns:     float64(wall.Nanoseconds()),
+			Allocs: after.Mallocs - before.Mallocs,
+		})
+		return err
+	}
+	emit := func(rows []bench.Record) {
+		if recs != nil {
+			*recs = append(*recs, rows...)
+		}
+	}
+
+	if all || exp == "table3" {
+		if err := harness("table3", func() error {
+			r, err := bench.MachineResults(bench.Table3)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable3(w, r)
+			fmt.Fprintln(w)
+			emit(bench.Table3Records(r))
+			return nil
+		}); err != nil {
 			return err
 		}
-		bench.PrintTable3(w, r)
-		fmt.Fprintln(w)
 	}
 	if all || exp == "table4" {
-		matched = true
-		r, err := bench.MachineResults(bench.Table4)
-		if err != nil {
+		if err := harness("table4", func() error {
+			r, err := bench.MachineResults(bench.Table4)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable4(w, r)
+			fmt.Fprintln(w)
+			emit(bench.Table4Records(r))
+			return nil
+		}); err != nil {
 			return err
 		}
-		bench.PrintTable4(w, r)
-		fmt.Fprintln(w)
 	}
 	if all || exp == "table5" {
-		matched = true
-		r, err := bench.MachineResults(bench.Table5)
-		if err != nil {
+		if err := harness("table5", func() error {
+			r, err := bench.MachineResults(bench.Table5)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable5(w, r)
+			fmt.Fprintln(w)
+			emit(bench.Table5Records(r))
+			return nil
+		}); err != nil {
 			return err
 		}
-		bench.PrintTable5(w, r)
-		fmt.Fprintln(w)
 	}
 	if all || exp == "fig7" {
-		matched = true
-		r, err := bench.MachineResults(bench.Fig7)
-		if err != nil {
-			return err
-		}
-		for _, name := range []string{"Wallaby", "Albireo"} {
-			bench.PrintFig7(w, r[name])
-			fmt.Fprintln(w)
-			if csvPrefix != "" {
-				if err := writeCSV(fmt.Sprintf("%s-fig7-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
-					return err
+		if err := harness("fig7", func() error {
+			r, err := bench.MachineResults(bench.Fig7)
+			if err != nil {
+				return err
+			}
+			for _, name := range bench.MachineOrder {
+				bench.PrintFig7(w, r[name])
+				fmt.Fprintln(w)
+				if csvPrefix != "" {
+					if err := writeCSV(fmt.Sprintf("%s-fig7-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
+						return err
+					}
 				}
 			}
+			emit(bench.Fig7Records(r))
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if all || exp == "fig8" {
-		matched = true
-		r, err := bench.MachineResults(bench.Fig8)
-		if err != nil {
-			return err
-		}
-		for _, name := range []string{"Wallaby", "Albireo"} {
-			bench.PrintFig8(w, r[name])
-			fmt.Fprintln(w)
-			if csvPrefix != "" {
-				if err := writeCSV(fmt.Sprintf("%s-fig8-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
-					return err
+		if err := harness("fig8", func() error {
+			r, err := bench.MachineResults(bench.Fig8)
+			if err != nil {
+				return err
+			}
+			for _, name := range bench.MachineOrder {
+				bench.PrintFig8(w, r[name])
+				fmt.Fprintln(w)
+				if csvPrefix != "" {
+					if err := writeCSV(fmt.Sprintf("%s-fig8-%s.csv", csvPrefix, name), r[name].Series()); err != nil {
+						return err
+					}
 				}
 			}
+			emit(bench.Fig8Records(r))
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if all || exp == "ablate-idle" {
-		matched = true
-		for _, m := range arch.Machines() {
-			r, err := bench.AblateIdlePolicy(m)
-			if err != nil {
-				return err
+		if err := harness("ablate-idle", func() error {
+			for _, m := range arch.Machines() {
+				r, err := bench.AblateIdlePolicy(m)
+				if err != nil {
+					return err
+				}
+				bench.PrintIdleAblation(w, r)
+				fmt.Fprintln(w)
 			}
-			bench.PrintIdleAblation(w, r)
-			fmt.Fprintln(w)
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if all || exp == "ablate-tls" {
-		matched = true
-		r, err := bench.MachineResults(bench.AblateTLS)
-		if err != nil {
-			return err
-		}
-		bench.PrintTLSAblation(w, r)
-		fmt.Fprintln(w)
-	}
-	if all || exp == "fig6-scenario" {
-		matched = true
-		for _, m := range arch.Machines() {
-			pts, err := bench.Fig6Scenario(m, []int{1, 2, 4}, []int{0, 1, 3})
+		if err := harness("ablate-tls", func() error {
+			r, err := bench.MachineResults(bench.AblateTLS)
 			if err != nil {
 				return err
 			}
-			bench.PrintFig6(w, pts)
+			bench.PrintTLSAblation(w, r)
 			fmt.Fprintln(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig6-scenario" {
+		if err := harness("fig6-scenario", func() error {
+			for _, m := range arch.Machines() {
+				pts, err := bench.Fig6Scenario(m, []int{1, 2, 4}, []int{0, 1, 3})
+				if err != nil {
+					return err
+				}
+				bench.PrintFig6(w, pts)
+				fmt.Fprintln(w)
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if all || exp == "huge-pages" {
-		matched = true
-		for _, m := range arch.Machines() {
-			r, err := bench.HugePages(m)
-			if err != nil {
-				return err
+		if err := harness("huge-pages", func() error {
+			for _, m := range arch.Machines() {
+				r, err := bench.HugePages(m)
+				if err != nil {
+					return err
+				}
+				bench.PrintHugePages(w, r)
+				fmt.Fprintln(w)
 			}
-			bench.PrintHugePages(w, r)
-			fmt.Fprintln(w)
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if all || exp == "mpi-oversub" {
-		matched = true
-		for _, m := range arch.Machines() {
-			pts, err := bench.MPIOversubscription(m, []int{2, 4, 8, 16})
-			if err != nil {
-				return err
+		if err := harness("mpi-oversub", func() error {
+			for _, m := range arch.Machines() {
+				pts, err := bench.MPIOversubscription(m, []int{2, 4, 8, 16})
+				if err != nil {
+					return err
+				}
+				bench.PrintMPI(w, pts)
+				fmt.Fprintln(w)
 			}
-			bench.PrintMPI(w, pts)
-			fmt.Fprintln(w)
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if !matched {

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sim"
+)
+
+// fig7Fingerprint runs a small Fig. 7-style grid and reduces it to the
+// quantities a regression would disturb: the full result values, the
+// rendered table bytes, and a trace-level fingerprint of one
+// representative scenario (event count, trace total, virtual end time).
+type fig7Fingerprint struct {
+	result   Fig7Result
+	rendered string
+	traced   uint64
+	events   int
+	endAt    sim.Time
+}
+
+func takeFig7Fingerprint(t *testing.T) fig7Fingerprint {
+	t.Helper()
+	r, err := Fig7Sweep(arch.Wallaby(), []int{64, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, r)
+
+	// Trace one open-write-close scenario directly on the engine.
+	e := sim.New()
+	tr := sim.NewTracer(4096)
+	e.SetTracer(tr)
+	var done *sim.Proc
+	done = e.Spawn("owc", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			p.Advance(100 * sim.Nanosecond)
+			p.Park()
+		}
+	})
+	e.Spawn("waker", func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			p.Advance(150 * sim.Nanosecond)
+			done.Unpark(10 * sim.Nanosecond)
+			p.Advance(50 * sim.Nanosecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fig7Fingerprint{
+		result:   r,
+		rendered: buf.String(),
+		traced:   tr.Total(),
+		events:   len(tr.Events()),
+		endAt:    e.Now(),
+	}
+}
+
+func sameFingerprint(t *testing.T, label string, a, b fig7Fingerprint) {
+	t.Helper()
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("%s: Fig7 results differ between runs", label)
+	}
+	if a.rendered != b.rendered {
+		t.Errorf("%s: rendered Fig7 table differs:\n%s\nvs\n%s", label, a.rendered, b.rendered)
+	}
+	if a.traced != b.traced || a.events != b.events || a.endAt != b.endAt {
+		t.Errorf("%s: trace fingerprint differs: (%d, %d, %v) vs (%d, %d, %v)",
+			label, a.traced, a.events, a.endAt, b.traced, b.events, b.endAt)
+	}
+}
+
+// TestDeterminism runs the identical scenario twice serially and once on
+// the parallel sweep pool: every repetition must produce byte-identical
+// output and identical trace totals, event counts, and end times.
+func TestDeterminism(t *testing.T) {
+	first := takeFig7Fingerprint(t)
+	second := takeFig7Fingerprint(t)
+	sameFingerprint(t, "serial repeat", first, second)
+
+	old := Parallelism
+	Parallelism = 4
+	defer func() { Parallelism = old }()
+	parallel := takeFig7Fingerprint(t)
+	sameFingerprint(t, "parallel sweep", first, parallel)
+}

@@ -167,41 +167,58 @@ func owcULP(m *arch.Machine, size int, idle blt.IdlePolicy) (sim.Duration, error
 
 // Fig7 sweeps all mechanisms over the write-buffer sizes on machine m.
 func Fig7(m *arch.Machine) (Fig7Result, error) {
+	return Fig7Sweep(m, Fig7Sizes())
+}
+
+// Fig7Sweep runs the Fig. 7 grid over the given sizes. Every cell of the
+// size × mechanism grid (baseline included) is an independent job on its
+// own simulated machine, so the grid fans out across the sweep worker
+// pool; results land in preallocated slots by (size, mechanism) index and
+// the output is identical at any Parallelism.
+func Fig7Sweep(m *arch.Machine, sizes []int) (Fig7Result, error) {
 	res := Fig7Result{
-		Machine: m,
-		Sizes:   Fig7Sizes(),
-		Times:   make(map[string][]sim.Duration),
+		Machine:  m,
+		Sizes:    sizes,
+		Baseline: make([]sim.Duration, len(sizes)),
+		Times:    make(map[string][]sim.Duration, len(Fig7Mechanisms)),
 	}
-	for _, size := range res.Sizes {
-		base, err := owcBaseline(m, size)
-		if err != nil {
-			return res, fmt.Errorf("baseline size %d: %w", size, err)
-		}
-		res.Baseline = append(res.Baseline, base)
-
-		d, err := owcULP(m, size, blt.BusyWait)
-		if err != nil {
-			return res, err
-		}
-		res.Times["ULP-BUSYWAIT"] = append(res.Times["ULP-BUSYWAIT"], d)
-
-		d, err = owcULP(m, size, blt.Blocking)
-		if err != nil {
-			return res, err
-		}
-		res.Times["ULP-BLOCKING"] = append(res.Times["ULP-BLOCKING"], d)
-
-		d, err = owcAIO(m, size, false)
-		if err != nil {
-			return res, err
-		}
-		res.Times["AIO-return"] = append(res.Times["AIO-return"], d)
-
-		d, err = owcAIO(m, size, true)
-		if err != nil {
-			return res, err
-		}
-		res.Times["AIO-suspend"] = append(res.Times["AIO-suspend"], d)
+	for _, mech := range Fig7Mechanisms {
+		res.Times[mech] = make([]sim.Duration, len(sizes))
 	}
-	return res, nil
+	var jobs []func() error
+	for i, size := range sizes {
+		i, size := i, size
+		jobs = append(jobs,
+			func() error {
+				d, err := owcBaseline(m, size)
+				if err != nil {
+					return fmt.Errorf("baseline size %d: %w", size, err)
+				}
+				res.Baseline[i] = d
+				return nil
+			},
+			func() error {
+				d, err := owcULP(m, size, blt.BusyWait)
+				res.Times["ULP-BUSYWAIT"][i] = d
+				return err
+			},
+			func() error {
+				d, err := owcULP(m, size, blt.Blocking)
+				res.Times["ULP-BLOCKING"][i] = d
+				return err
+			},
+			func() error {
+				d, err := owcAIO(m, size, false)
+				res.Times["AIO-return"][i] = d
+				return err
+			},
+			func() error {
+				d, err := owcAIO(m, size, true)
+				res.Times["AIO-suspend"][i] = d
+				return err
+			},
+		)
+	}
+	err := sweep(len(jobs), func(i int) error { return jobs[i]() })
+	return res, err
 }

@@ -153,46 +153,56 @@ func overlapULP(m *arch.Machine, size int, tCPU sim.Duration, idle blt.IdlePolic
 }
 
 // Fig8 sweeps overlap ratios over the write-buffer sizes on machine m.
+// Each size is one independent job on the sweep worker pool: the pure
+// time sizes the overlapped computation, so a size's five measurements
+// stay together, but different sizes fan out. Results land in
+// preallocated per-size slots — output is identical at any Parallelism.
 func Fig8(m *arch.Machine) (Fig8Result, error) {
+	sizes := Fig8Sizes()
 	res := Fig8Result{
 		Machine: m,
-		Sizes:   Fig8Sizes(),
-		Overlap: make(map[string][]float64),
+		Sizes:   sizes,
+		Overlap: make(map[string][]float64, len(Fig7Mechanisms)),
 	}
-	for _, size := range res.Sizes {
+	for _, mech := range Fig7Mechanisms {
+		res.Overlap[mech] = make([]float64, len(sizes))
+	}
+	err := sweep(len(sizes), func(i int) error {
+		size := sizes[i]
 		tPure, err := owcBaseline(m, size)
 		if err != nil {
-			return res, err
+			return err
 		}
 		tCPU := tPure // IMB: computation sized to the pure op
 
 		record := func(mech string, tOvrl sim.Duration) {
-			res.Overlap[mech] = append(res.Overlap[mech], IMBOverlap(tPure, tCPU, tOvrl))
+			res.Overlap[mech][i] = IMBOverlap(tPure, tCPU, tOvrl)
 		}
 
 		d, err := overlapULP(m, size, tCPU, blt.BusyWait)
 		if err != nil {
-			return res, err
+			return err
 		}
 		record("ULP-BUSYWAIT", d)
 
 		d, err = overlapULP(m, size, tCPU, blt.Blocking)
 		if err != nil {
-			return res, err
+			return err
 		}
 		record("ULP-BLOCKING", d)
 
 		d, err = overlapAIO(m, size, tCPU, false)
 		if err != nil {
-			return res, err
+			return err
 		}
 		record("AIO-return", d)
 
 		d, err = overlapAIO(m, size, tCPU, true)
 		if err != nil {
-			return res, err
+			return err
 		}
 		record("AIO-suspend", d)
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }

@@ -118,15 +118,28 @@ func WriteSeriesCSV(w io.Writer, series []Series) error {
 }
 
 // MachineResults runs fn for both machines keyed by name — the common
-// "both machines" sweep of the paper's evaluation.
+// "both machines" sweep of the paper's evaluation. The machine loop runs
+// on the sweep worker pool (each machine's experiments are independent
+// simulations); the result map is assembled by index afterwards, so the
+// output is identical at any Parallelism.
 func MachineResults[T any](fn func(m *arch.Machine) (T, error)) (map[string]T, error) {
-	out := make(map[string]T, 2)
-	for _, m := range arch.Machines() {
-		r, err := fn(m)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.Name, err)
+	ms := arch.Machines()
+	results := make([]T, len(ms))
+	errs := make([]error, len(ms))
+	if err := sweep(len(ms), func(i int) error {
+		results[i], errs[i] = fn(ms[i])
+		return errs[i]
+	}); err != nil {
+		for i, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("%s: %w", ms[i].Name, e)
+			}
 		}
-		out[m.Name] = r
+		return nil, err
+	}
+	out := make(map[string]T, len(ms))
+	for i, m := range ms {
+		out[m.Name] = results[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism is the worker-pool width used by experiment sweeps: the
+// Fig. 7/8 size × mechanism grids and the Tables III–V machine loops run
+// as independent jobs, each on its own Engine. 1 means strictly serial.
+// Results are always collected by job index, so the rendered output is
+// identical at any width (the simulation itself is deterministic per
+// engine). Set from ulpbench's -parallel flag.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// sweep runs n independent jobs on a worker pool of width Parallelism.
+// Each job must confine its writes to its own result slot (slice index);
+// jobs share no simulation state — every measurement stands up a fresh
+// Engine. The reported error is the failing job with the lowest index
+// regardless of width, so error output is deterministic too (serial mode
+// stops at the first failure; parallel mode drains the started jobs).
+func sweep(n int, job func(i int) error) error {
+	workers := Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

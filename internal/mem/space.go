@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -44,13 +45,15 @@ type AddressSpace struct {
 	attached int // tasks currently using this space
 }
 
-var nextSpaceID uint64
+// nextSpaceID is atomic: independent simulations may stand up kernels
+// concurrently (the bench sweep pool). IDs only need to be unique — they
+// key futex words within one kernel and are never ordered or printed.
+var nextSpaceID atomic.Uint64
 
 // NewAddressSpace creates an empty space over the given physical memory.
 func NewAddressSpace(phys *PhysMemory, costs Costs) *AddressSpace {
-	nextSpaceID++
 	return &AddressSpace{
-		ID:    nextSpaceID,
+		ID:    nextSpaceID.Add(1),
 		phys:  phys,
 		pt:    NewPageTable(),
 		costs: costs,

@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// The engine's steady-state hot paths must not allocate: resume events
+// are intrusive (embedded in the Proc), callback events come from a
+// freelist, and tracing is off by default. These tests pin that property
+// with testing.AllocsPerRun so a regression fails loudly rather than
+// showing up as a benchmark drift.
+
+// runChunks drives the engine in fixed virtual-time chunks, returning a
+// closure suitable for AllocsPerRun. The first call is AllocsPerRun's
+// untimed warm-up, which absorbs one-time growth (heap slice, freelist).
+func runChunks(e *Engine, chunk Duration) func() {
+	next := e.Now()
+	return func() {
+		next = next.Add(chunk)
+		if err := e.RunUntil(next); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestAdvanceResumeZeroAllocs(t *testing.T) {
+	e := New()
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Advance(Microsecond)
+		}
+	})
+	step := runChunks(e, 100*Microsecond)
+	step() // warm up outside the measurement too: first chunk spawns the proc
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("Advance→resume cycle allocates %.1f per chunk, want 0", got)
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
+func TestUnparkZeroAllocs(t *testing.T) {
+	e := New()
+	var a, b *Proc
+	a = e.Spawn("a", func(p *Proc) {
+		for {
+			p.Park()
+			b.Unpark(Microsecond)
+		}
+	})
+	b = e.Spawn("b", func(p *Proc) {
+		for {
+			a.Unpark(Microsecond)
+			p.Park()
+		}
+	})
+	step := runChunks(e, 100*Microsecond)
+	step()
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("Park/Unpark ping-pong allocates %.1f per chunk, want 0", got)
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
+func TestAfterZeroAllocs(t *testing.T) {
+	e := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		e.After(Microsecond, tick)
+	}
+	e.After(Microsecond, tick)
+	step := runChunks(e, 100*Microsecond)
+	step()
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("After callback chain allocates %.1f per chunk, want 0", got)
+	}
+	if n == 0 {
+		t.Fatal("callback never ran")
+	}
+	e.Stop()
+	e.Shutdown()
+}

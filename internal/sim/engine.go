@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -16,8 +16,17 @@ var ErrDeadlock = errors.New("sim: deadlock, parked procs remain with empty even
 // terminated by Engine.Shutdown while parked.
 var ErrKilled = errors.New("sim: proc killed by engine shutdown")
 
+// maxTime is the Run limit: every event timestamp is below it.
+const maxTime = Time(math.MaxInt64)
+
 // event is a scheduled occurrence: either the resumption of a parked proc
 // or the invocation of a callback in engine context.
+//
+// Resume events are intrusive: each Proc embeds its own event (a live
+// proc has at most one pending resume, so the storage can be reused for
+// every Advance/Unpark without allocating). Callback events are recycled
+// through the engine's freelist. In steady state the scheduler therefore
+// performs zero heap allocations.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among equal timestamps
@@ -25,24 +34,13 @@ type event struct {
 	fn   func() // callback to run in engine context, or nil
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, sequence): earlier first, FIFO among
+// equal timestamps.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
@@ -50,9 +48,28 @@ func (h *eventHeap) Pop() interface{} {
 // either from the goroutine that calls Run or from within procs (which the
 // engine serializes).
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now Time
+	seq uint64
+
+	// heap is a hand-rolled 4-ary min-heap ordered by eventLess. A
+	// 4-ary layout halves the tree depth of a binary heap and keeps
+	// sibling comparisons within one cache line of the slice.
+	heap []*event
+
+	// deferred fuses the ubiquitous push-then-pop pattern (a proc
+	// schedules its next event, then the engine immediately takes the
+	// minimum): the most recent schedule is parked here and only
+	// migrates into the heap if a second schedule arrives first. When
+	// the deferred event is the minimum it is returned without any
+	// sift; when the heap head pops at the same timestamp the deferred
+	// event stays out of the heap entirely, so same-time cascades never
+	// pay sift-up or sift-down for it.
+	deferred *event
+
+	// free recycles callback events (proc resumes are intrusive and
+	// need no pool).
+	free []*event
+
 	procs   map[uint64]*Proc // live procs by id
 	nextID  uint64
 	current *Proc // proc currently holding the baton, nil when engine runs
@@ -62,7 +79,18 @@ type Engine struct {
 	baton chan struct{}
 
 	stopped bool
-	tracer  *Tracer
+
+	// direct is true while Run/RunUntil's event loop is active: yielding
+	// procs then dispatch the next event themselves and hand the baton
+	// straight to the next proc (one goroutine switch instead of two
+	// through the engine goroutine). Outside the loop (Shutdown kills)
+	// procs fall back to waking the engine via baton.
+	direct bool
+
+	// limit is the timestamp bound of the active Run/RunUntil loop; the
+	// proc-local Advance fast path must not carry the clock past it.
+	limit  Time
+	tracer *Tracer
 }
 
 // New creates an empty engine at virtual time zero.
@@ -70,6 +98,7 @@ func New() *Engine {
 	return &Engine{
 		procs: make(map[uint64]*Proc),
 		baton: make(chan struct{}),
+		limit: maxTime,
 	}
 }
 
@@ -85,15 +114,124 @@ func (e *Engine) Tracer() *Tracer { return e.tracer }
 
 func (e *Engine) trace(kind, format string, args ...interface{}) {
 	if e.tracer != nil {
-		e.tracer.add(e.now, kind, fmt.Sprintf(format, args...))
+		e.tracer.add(e.now, kind, format, args)
 	}
 }
 
-// schedule enqueues an event at absolute time at.
+// schedule enqueues an event at its absolute time ev.at. The newest
+// event lands in the deferred slot; a previously deferred event is
+// migrated into the heap.
 func (e *Engine) schedule(ev *event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	if d := e.deferred; d != nil {
+		e.heapPush(d)
+	}
+	e.deferred = ev
+}
+
+// peek returns the earliest pending event without removing it, or nil.
+func (e *Engine) peek() *event {
+	d := e.deferred
+	if d != nil && (len(e.heap) == 0 || eventLess(d, e.heap[0])) {
+		return d
+	}
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+// popNext removes and returns the earliest pending event, or nil.
+func (e *Engine) popNext() *event {
+	d := e.deferred
+	if d != nil && (len(e.heap) == 0 || eventLess(d, e.heap[0])) {
+		e.deferred = nil
+		return d
+	}
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heapPop()
+}
+
+// heapPush inserts ev into the 4-ary heap (sift-up by hole movement: the
+// event is written once, parents shift down).
+func (e *Engine) heapPush(ev *event) {
+	q := append(e.heap, ev)
+	e.heap = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// heapPop removes and returns the minimum of the 4-ary heap.
+func (e *Engine) heapPop() *event {
+	q := e.heap
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	e.heap = q
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !eventLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
+}
+
+// acquireEvent returns a callback event from the freelist (or a new one).
+func (e *Engine) acquireEvent(at Time, fn func()) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn = at, fn
+		return ev
+	}
+	return &event{at: at, fn: fn}
+}
+
+// maxFree bounds the callback freelist: steady-state workloads have few
+// callbacks in flight, and an unbounded list would pin a burst of events
+// (and their GC scan cost) forever.
+const maxFree = 1024
+
+// releaseEvent returns a popped callback event to the freelist.
+func (e *Engine) releaseEvent(ev *event) {
+	ev.fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
 }
 
 // After runs fn in engine context after delay d. fn must not park; it is a
@@ -102,7 +240,7 @@ func (e *Engine) After(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.schedule(&event{at: e.now.Add(d), fn: fn})
+	e.schedule(e.acquireEvent(e.now.Add(d), fn))
 }
 
 // Spawn creates a new proc executing fn and schedules its first resumption
@@ -121,40 +259,77 @@ func (e *Engine) SpawnAfter(name string, d Duration, fn func(p *Proc)) *Proc {
 		engine: e,
 		resume: make(chan resumeMsg),
 	}
+	p.ev.proc = p
 	e.procs[p.id] = p
 	e.trace("spawn", "proc %s", p)
 	go p.run(fn)
 	p.state = procReady
-	e.schedule(&event{at: e.now.Add(d), proc: p})
+	p.ev.at = e.now.Add(d)
+	e.schedule(&p.ev)
 	return p
 }
 
-// step executes the next event. It reports false when the queue is empty.
-func (e *Engine) step() bool {
-	if len(e.queue) == 0 {
-		return false
+// dispatchResult reports how a dispatchNext call ended.
+type dispatchResult int
+
+const (
+	// chainEnded: no more events are runnable (queue drained, limit
+	// reached, or Stop requested); control belongs to the engine loop.
+	chainEnded dispatchResult = iota
+	// handedOff: a proc other than the caller was resumed; the caller
+	// must wait for its own resume (or for the baton, if it is the
+	// engine loop).
+	handedOff
+	// resumedSelf: the next event was the calling proc's own resume; it
+	// keeps running without any goroutine switch.
+	resumedSelf
+)
+
+// dispatchNext executes pending callbacks and resumes the next runnable
+// proc. It is called both by the engine loop (self == nil) and — in
+// direct mode — by a yielding proc's own goroutine, which hands the baton
+// straight to the next proc instead of bouncing through the engine
+// goroutine (halving the scheduler switches per simulated context
+// switch).
+func (e *Engine) dispatchNext(self *Proc) dispatchResult {
+	for !e.stopped {
+		next := e.peek()
+		if next == nil || next.at > e.limit {
+			break
+		}
+		ev := e.popNext()
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			fn := ev.fn
+			e.releaseEvent(ev)
+			e.current = nil
+			fn()
+			continue
+		}
+		p := ev.proc
+		if p.state == procDead {
+			continue // stale resume for an exited proc
+		}
+		if p.state != procReady {
+			panic(fmt.Sprintf("sim: resuming proc %s in state %v", p, p.state))
+		}
+		e.current = p
+		p.state = procRunning
+		if p == self {
+			return resumedSelf
+		}
+		p.resume <- resumeMsg{}
+		return handedOff
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	if ev.at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, e.now))
-	}
-	e.now = ev.at
-	if ev.fn != nil {
-		ev.fn()
-		return true
-	}
-	p := ev.proc
-	if p.state == procDead {
-		return true // stale resume for an exited proc
-	}
-	if p.state != procReady {
-		panic(fmt.Sprintf("sim: resuming proc %s in state %v", p, p.state))
-	}
-	e.runProc(p, resumeMsg{})
-	return true
+	e.current = nil
+	return chainEnded
 }
 
-// runProc hands the baton to p and waits for it to park or exit.
+// runProc hands the baton to p and waits for it to park or exit. Used
+// only outside the event loop (Shutdown kill delivery).
 func (e *Engine) runProc(p *Proc, msg resumeMsg) {
 	prev := e.current
 	e.current = p
@@ -164,15 +339,23 @@ func (e *Engine) runProc(p *Proc, msg resumeMsg) {
 	e.current = prev
 }
 
+// loop drives the event loop in direct-handoff mode: it starts dispatch
+// chains and sleeps on the baton while procs hand control among
+// themselves; a proc that finds no runnable successor wakes it back up.
+func (e *Engine) loop() {
+	e.direct = true
+	defer func() { e.direct = false }()
+	for e.dispatchNext(nil) == handedOff {
+		<-e.baton
+	}
+}
+
 // Run executes events until the queue drains, Stop is called, or a
 // deadlock is detected (parked procs with no pending events).
 func (e *Engine) Run() error {
 	e.stopped = false
-	for !e.stopped {
-		if !e.step() {
-			break
-		}
-	}
+	e.limit = maxTime
+	e.loop()
 	if e.stopped {
 		return nil
 	}
@@ -194,12 +377,9 @@ func (e *Engine) Run() error {
 // the queue drains earlier.
 func (e *Engine) RunUntil(t Time) error {
 	e.stopped = false
-	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > t {
-			return nil
-		}
-		e.step()
-	}
+	e.limit = t
+	defer func() { e.limit = maxTime }()
+	e.loop()
 	return nil
 }
 
@@ -209,9 +389,20 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Shutdown forcibly terminates all parked or ready procs by delivering an
 // ErrKilled panic into them. Use in tests to reap goroutines from aborted
-// simulations. Must not be called from inside a proc.
+// simulations. Must not be called from inside a proc. Procs are killed in
+// ascending id order so shutdown traces are deterministic (and the live
+// set is snapshotted first: killing a proc mutates e.procs).
 func (e *Engine) Shutdown() {
-	for _, p := range e.procs {
+	ids := make([]uint64, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p, ok := e.procs[id]
+		if !ok {
+			continue
+		}
 		if p.state == procParked || p.state == procReady {
 			e.runProc(p, resumeMsg{kill: true})
 		}
@@ -222,7 +413,13 @@ func (e *Engine) Shutdown() {
 func (e *Engine) LiveProcs() int { return len(e.procs) }
 
 // PendingEvents reports the number of scheduled events.
-func (e *Engine) PendingEvents() int { return len(e.queue) }
+func (e *Engine) PendingEvents() int {
+	n := len(e.heap)
+	if e.deferred != nil {
+		n++
+	}
+	return n
+}
 
 // Current returns the proc holding the baton, or nil when the engine
 // itself (a callback) is running.

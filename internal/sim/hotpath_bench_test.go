@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+func nopCallback() {}
+
+// BenchmarkEngineHotPath exercises the three hot scheduling paths in one
+// loop: a timer resume (Advance), a callback (After), and a park/unpark
+// handoff between two procs.
+func BenchmarkEngineHotPath(b *testing.B) {
+	e := New()
+	var driver, partner *Proc
+	partner = e.Spawn("partner", func(p *Proc) {
+		for {
+			p.Park()
+			driver.Unpark(0)
+		}
+	})
+	driver = e.Spawn("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(Nanosecond)
+			e.After(Nanosecond, nopCallback)
+			partner.Unpark(0)
+			p.Park()
+		}
+		e.Stop()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	e.Shutdown()
+}

@@ -44,6 +44,12 @@ type Proc struct {
 	state  procState
 	resume chan resumeMsg
 
+	// ev is the proc's intrusive resume event. A live proc has at most
+	// one pending resume (ready XOR running XOR parked), so Spawn,
+	// Advance and Unpark all reuse this storage — the scheduler hot
+	// path allocates nothing.
+	ev event
+
 	// Stats.
 	wakeups  uint64
 	advanced Duration
@@ -92,19 +98,50 @@ func (p *Proc) run(fn func(*Proc)) {
 	p.state = procDead
 	delete(p.engine.procs, p.id)
 	p.engine.trace("exit", "proc %s", p)
-	p.engine.baton <- struct{}{}
+	p.release()
 }
 
 func (p *Proc) die() {
 	p.state = procDead
 	delete(p.engine.procs, p.id)
-	p.engine.baton <- struct{}{}
+	if p.engine.tracer != nil {
+		p.engine.trace("kill", "proc %s", p)
+	}
+	p.release()
+}
+
+// release gives up the baton for good (proc exit): in direct mode the
+// dying goroutine dispatches its successor itself, otherwise it wakes the
+// engine loop.
+func (p *Proc) release() {
+	e := p.engine
+	if e.direct {
+		if e.dispatchNext(nil) == chainEnded {
+			e.baton <- struct{}{}
+		}
+		return
+	}
+	e.baton <- struct{}{}
 }
 
 // yield releases the baton and blocks until resumed. Must only be called
-// by the proc itself while running.
+// by the proc itself while running. In direct mode the yielding goroutine
+// dispatches the next event itself: if that event is its own resume it
+// returns immediately (zero goroutine switches); if it is another proc's
+// resume the baton is handed over directly (one switch, not two).
 func (p *Proc) yield() {
-	p.engine.baton <- struct{}{}
+	e := p.engine
+	if e.direct {
+		switch e.dispatchNext(p) {
+		case resumedSelf:
+			p.wakeups++
+			return
+		case chainEnded:
+			e.baton <- struct{}{}
+		}
+	} else {
+		e.baton <- struct{}{}
+	}
 	msg := <-p.resume
 	p.wakeups++
 	if msg.kill {
@@ -122,14 +159,31 @@ func (p *Proc) checkRunning(op string) {
 // once the clock reaches now+d. Other procs with earlier events run in
 // between — this is how virtual parallelism across simulated CPU cores
 // arises from a sequential engine.
+//
+// Fast path: when the proc's own resume would be strictly the next event
+// anyway (no other event is due at or before now+d, Stop has not been
+// requested, and the active Run/RunUntil limit is not crossed), the
+// engine would pop it back immediately — so the clock moves forward in
+// place and the two goroutine handoffs (proc→engine, engine→proc) are
+// skipped entirely. The execution order is identical to the slow path.
 func (p *Proc) Advance(d Duration) {
 	p.checkRunning("Advance")
 	if d < 0 {
 		panic("sim: negative Advance")
 	}
 	p.advanced += d
+	e := p.engine
+	at := e.now.Add(d)
+	if !e.stopped && at <= e.limit {
+		if next := e.peek(); next == nil || at < next.at {
+			e.now = at
+			p.wakeups++
+			return
+		}
+	}
 	p.state = procReady
-	p.engine.schedule(&event{at: p.engine.now.Add(d), proc: p})
+	p.ev.at = at
+	e.schedule(&p.ev)
 	p.yield()
 }
 
@@ -138,7 +192,11 @@ func (p *Proc) Advance(d Duration) {
 func (p *Proc) Park() {
 	p.checkRunning("Park")
 	p.state = procParked
-	p.engine.trace("park", "proc %s", p)
+	// Tracing is gated at the call site so the untraced hot path does
+	// not pay for boxing the variadic arguments.
+	if p.engine.tracer != nil {
+		p.engine.trace("park", "proc %s", p)
+	}
 	p.yield()
 }
 
@@ -156,8 +214,12 @@ func (p *Proc) Unpark(d Duration) {
 		d = 0
 	}
 	p.state = procReady
-	p.engine.trace("unpark", "proc %s (+%v)", p, d)
-	p.engine.schedule(&event{at: p.engine.now.Add(d), proc: p})
+	e := p.engine
+	if e.tracer != nil {
+		e.trace("unpark", "proc %s (+%v)", p, d)
+	}
+	p.ev.at = e.now.Add(d)
+	e.schedule(&p.ev)
 }
 
 // Parked reports whether the proc is currently parked.

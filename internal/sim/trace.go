@@ -5,7 +5,7 @@ import (
 	"io"
 )
 
-// TraceEvent is one recorded engine event.
+// TraceEvent is one recorded engine event, rendered to its final message.
 type TraceEvent struct {
 	At   Time
 	Kind string
@@ -17,14 +17,35 @@ func (ev TraceEvent) String() string {
 	return fmt.Sprintf("[%12.3fns] %-8s %s", ev.At.Nanoseconds(), ev.Kind, ev.Msg)
 }
 
+// record is one unrendered trace entry. Formatting is deferred until the
+// event is actually read: a bounded ring evicts most entries unread, so
+// emitters never pay fmt.Sprintf for them. Arguments are captured by
+// value at Add time (pointer arguments whose String output mutates would
+// render their state at read time — engine args are immutable).
+type record struct {
+	at     Time
+	kind   string
+	format string
+	args   []interface{} // nil or empty: format is already the message
+}
+
+// render formats the record into its user-visible event.
+func (r record) render() TraceEvent {
+	msg := r.format
+	if len(r.args) > 0 {
+		msg = fmt.Sprintf(r.format, r.args...)
+	}
+	return TraceEvent{At: r.at, Kind: r.kind, Msg: msg}
+}
+
 // Tracer records engine and subsystem events into a bounded ring buffer.
 // Subsystems (kernel, blt, ulp) emit their own kinds through Add.
 type Tracer struct {
-	cap    int
-	events []TraceEvent
-	start  int // ring start index when full
-	full   bool
-	total  uint64
+	cap   int
+	recs  []record
+	start int // ring start index when full
+	full  bool
+	total uint64
 }
 
 // NewTracer creates a tracer keeping at most capacity events (most recent
@@ -33,25 +54,26 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity}
 }
 
-func (t *Tracer) add(at Time, kind, msg string) {
+func (t *Tracer) add(at Time, kind, format string, args []interface{}) {
 	t.total++
-	ev := TraceEvent{At: at, Kind: kind, Msg: msg}
+	r := record{at: at, kind: kind, format: format, args: args}
 	if t.cap <= 0 {
-		t.events = append(t.events, ev)
+		t.recs = append(t.recs, r)
 		return
 	}
-	if len(t.events) < t.cap {
-		t.events = append(t.events, ev)
+	if len(t.recs) < t.cap {
+		t.recs = append(t.recs, r)
 		return
 	}
-	t.events[t.start] = ev
+	t.recs[t.start] = r
 	t.start = (t.start + 1) % t.cap
 	t.full = true
 }
 
 // Add records an event with the given timestamp, kind tag and message.
+// The message is formatted lazily on Events or Dump.
 func (t *Tracer) Add(at Time, kind, format string, args ...interface{}) {
-	t.add(at, kind, fmt.Sprintf(format, args...))
+	t.add(at, kind, format, args)
 }
 
 // Total reports how many events were ever recorded (including evicted
@@ -60,14 +82,19 @@ func (t *Tracer) Total() uint64 { return t.total }
 
 // Events returns the retained events in chronological order.
 func (t *Tracer) Events() []TraceEvent {
-	if !t.full {
-		out := make([]TraceEvent, len(t.events))
-		copy(out, t.events)
+	out := make([]TraceEvent, 0, len(t.recs))
+	if t.full {
+		for _, r := range t.recs[t.start:] {
+			out = append(out, r.render())
+		}
+		for _, r := range t.recs[:t.start] {
+			out = append(out, r.render())
+		}
 		return out
 	}
-	out := make([]TraceEvent, 0, len(t.events))
-	out = append(out, t.events[t.start:]...)
-	out = append(out, t.events[:t.start]...)
+	for _, r := range t.recs {
+		out = append(out, r.render())
+	}
 	return out
 }
 
