@@ -5,16 +5,27 @@
 //
 //	ulpsim -machine Wallaby -ulps 8 -prog-cores 2 -syscall-cores 2 \
 //	       -ops 16 -compute-us 5 -idle blocking -trace trace.txt
+//
+// With -chaos it instead runs the seeded protocol fuzzer: a random (but
+// seed-determined) operation mix under an injected fault schedule, run
+// twice and checked for a bit-identical digest. This is how a failing
+// seed reported by the chaos tests is replayed:
+//
+//	ulpsim -chaos -seed 7 -machine Albireo -idle blocking \
+//	       -faults 'futex_lost_wake:prob=0.05;kc_kill:prob=0.002,task=kc.chaos'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/blt"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
@@ -38,19 +49,95 @@ func main() {
 		workSteal    = flag.Bool("workstealing", false, "idle schedulers steal ready UCs from peers")
 		showTimeline = flag.Bool("timeline", false, "print per-core utilization and an ASCII Gantt chart")
 		preemptUS    = flag.Float64("preempt-us", 0, "Shinjuku-style ULT preemption quantum [us], 0 = off")
+		chaosMode    = flag.Bool("chaos", false, "run the seeded chaos fuzzer instead of the scenario workload")
+		seed         = flag.Uint64("seed", 1, "fault plane / chaos seed")
+		faults       = flag.String("faults", "", "fault specs, e.g. 'futex_lost_wake:prob=0.01;kc_kill:nth=3,task=kc.t2' (in -chaos mode, empty means the default mix)")
 	)
 	flag.Parse()
-	if err := run(*machineName, *ulps, *progCores, *syscallCores, *ops,
-		*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
-		*workSteal, *preemptUS, *showTimeline); err != nil {
+	var err error
+	if *chaosMode {
+		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults)
+	} else {
+		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
+			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
+			*workSteal, *preemptUS, *showTimeline, *seed, *faults)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ulpsim:", err)
 		os.Exit(1)
 	}
 }
 
+// runChaos is the -chaos mode: one verified chaos run, then a rerun to
+// prove the digest is a pure function of (seed, faults).
+func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string) error {
+	m := arch.ByName(machineName)
+	if m == nil {
+		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
+	}
+	idlePolicy, sigMode, err := parseModes(idle, signals)
+	if err != nil {
+		return err
+	}
+	specs := chaos.DefaultSpecs()
+	if faultsStr != "" {
+		if specs, err = fault.ParseSpecs(faultsStr); err != nil {
+			return err
+		}
+	}
+	cfg := chaos.Config{
+		Machine: m, Seed: seed, Specs: specs,
+		ULPs: ulps, Ops: ops, Idle: idlePolicy, SigMode: sigMode,
+	}
+	d1, stats, err := chaos.RunWithStats(cfg)
+	if err != nil {
+		return err
+	}
+	d2, err := chaos.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("rerun: %w", err)
+	}
+	fmt.Printf("machine        %s (%s), idle=%s, signals=%s\n", m.Name, m.Arch, idlePolicy, sigMode)
+	fmt.Printf("workload       %d ULPs x %d ops, seed %d\n", ulps, ops, seed)
+	fmt.Printf("digest         %s\n", d1)
+	for _, line := range stats {
+		fmt.Printf("fault          %s\n", line)
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("NONDETERMINISTIC:\n  run1: %s\n  run2: %s\nrepro: %s",
+			d1, d2, chaos.ReproCommand(cfg))
+	}
+	fmt.Printf("determinism    rerun digest identical\n")
+	fmt.Printf("repro          %s\n", chaos.ReproCommand(cfg))
+	return nil
+}
+
+// parseModes maps the -idle and -signals flag values. Case-insensitive,
+// so a chaos repro command (which prints the policies' String forms)
+// pastes back verbatim.
+func parseModes(idle, signals string) (blt.IdlePolicy, core.SignalMode, error) {
+	idlePolicy := blt.BusyWait
+	switch strings.ToLower(idle) {
+	case "busywait":
+	case "blocking":
+		idlePolicy = blt.Blocking
+	default:
+		return 0, 0, fmt.Errorf("unknown idle policy %q", idle)
+	}
+	sigMode := core.FcontextMode
+	switch signals {
+	case "fcontext":
+	case "ucontext":
+		sigMode = core.UcontextMode
+	default:
+		return 0, 0, fmt.Errorf("unknown signal mode %q", signals)
+	}
+	return idlePolicy, sigMode, nil
+}
+
 func run(machineName string, ulps, progCores, syscallCores, ops int,
 	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
-	workSteal bool, preemptUS float64, showTimeline bool) error {
+	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string) error {
 
 	m := arch.ByName(machineName)
 	if m == nil {
@@ -59,21 +146,9 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	if progCores+syscallCores > m.Cores() {
 		return fmt.Errorf("%d cores requested, machine has %d", progCores+syscallCores, m.Cores())
 	}
-	idlePolicy := blt.BusyWait
-	switch idle {
-	case "busywait":
-	case "blocking":
-		idlePolicy = blt.Blocking
-	default:
-		return fmt.Errorf("unknown idle policy %q", idle)
-	}
-	sigMode := core.FcontextMode
-	switch signals {
-	case "fcontext":
-	case "ucontext":
-		sigMode = core.UcontextMode
-	default:
-		return fmt.Errorf("unknown signal mode %q", signals)
+	idlePolicy, sigMode, err := parseModes(idle, signals)
+	if err != nil {
+		return err
 	}
 
 	e := sim.New()
@@ -83,6 +158,15 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		e.SetTracer(tracer)
 	}
 	k := kernel.New(e, m)
+	var plane *fault.Plane
+	if faultsStr != "" {
+		specs, err := fault.ParseSpecs(faultsStr)
+		if err != nil {
+			return err
+		}
+		plane = fault.NewPlane(seed, specs)
+		k.SetFaultPlane(plane)
+	}
 	var rec *timeline.Recorder
 	if showTimeline {
 		rec = timeline.New()
@@ -114,7 +198,7 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 					fd, err := kc.Open(fmt.Sprintf("/out.%d", env.U.Rank),
 						fs.OCreate|fs.OWrOnly|fs.OTrunc)
 					if err != nil {
-						panic(err)
+						return // injected fault: skip this op
 					}
 					kc.Write(fd, buf, true)
 					kc.Close(fd)
@@ -129,7 +213,7 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	var statuses []int
 	var violations int
 	var rtRef *core.Runtime
-	core.Boot(k, cfg, func(rt *core.Runtime) int {
+	if _, err := core.Boot(k, cfg, func(rt *core.Runtime) int {
 		rtRef = rt
 		start := e.Now()
 		for i := 0; i < ulps; i++ {
@@ -146,7 +230,9 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		violations = len(rt.Violations())
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		return err
+	}
 	if err := e.Run(); err != nil {
 		return err
 	}
@@ -163,6 +249,12 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	fmt.Printf("consistency    %d violations (audited)\n", violations)
 	fmt.Printf("kernel         %d syscalls, %d kernel context switches\n",
 		k.Syscalls(), k.ContextSwitches())
+	if plane != nil {
+		fmt.Printf("injections     %d (seed %d)\n", plane.Injections(), seed)
+		for _, line := range plane.Stats() {
+			fmt.Printf("fault          %s\n", line)
+		}
+	}
 	for _, s := range rtRef.Pool().Schedulers() {
 		fmt.Printf("scheduler c%-2d  %d dispatches, %d steals, %v spun idle\n",
 			s.Core(), s.Dispatches(), s.Steals(), s.SpunIdle())

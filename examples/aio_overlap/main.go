@@ -161,7 +161,7 @@ func measureULP(m *ulppip.Machine, tCPU ulppip.Duration) ulppip.Duration {
 			return 0
 		},
 	}
-	ulppip.Boot(s.Kernel, ulppip.Config{
+	if _, err := ulppip.Boot(s.Kernel, ulppip.Config{
 		ProgCores:    []int{0}, // both ULPs share ONE program core
 		SyscallCores: []int{2, 3},
 		Idle:         ulppip.IdleBusyWait,
@@ -171,7 +171,9 @@ func measureULP(m *ulppip.Machine, tCPU ulppip.Duration) ulppip.Duration {
 		rt.WaitAll()
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}

@@ -119,7 +119,7 @@ func main() {
 		},
 	}
 
-	ulppip.Boot(s.Kernel, ulppip.Config{
+	if _, err := ulppip.Boot(s.Kernel, ulppip.Config{
 		ProgCores:    []int{0, 1},
 		SyscallCores: []int{2, 3},
 		Idle:         ulppip.IdleBlocking,
@@ -139,7 +139,9 @@ func main() {
 			statuses, len(rt.Violations()))
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}

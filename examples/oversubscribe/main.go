@@ -65,7 +65,7 @@ func run(oversub int) ulppip.Duration {
 	}
 
 	var makespan ulppip.Duration
-	ulppip.Boot(s.Kernel, ulppip.Config{
+	if _, err := ulppip.Boot(s.Kernel, ulppip.Config{
 		ProgCores:    []int{0, 1},
 		SyscallCores: []int{2, 3},
 		Idle:         ulppip.IdleBlocking,
@@ -85,7 +85,9 @@ func run(oversub int) ulppip.Duration {
 		makespan = s.Now().Sub(start)
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	if err := s.Run(); err != nil {
 		log.Fatal(err)
 	}

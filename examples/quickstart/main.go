@@ -50,7 +50,7 @@ func main() {
 		},
 	}
 
-	ulppip.Boot(s.Kernel, ulppip.Config{
+	if _, err := ulppip.Boot(s.Kernel, ulppip.Config{
 		ProgCores:    []int{0, 1},
 		SyscallCores: []int{2, 3},
 		Idle:         ulppip.IdleBusyWait,
@@ -75,7 +75,9 @@ func main() {
 		}
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	if err := s.Run(); err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // ErrInProgress is returned by Return before the request completes
@@ -26,6 +27,24 @@ var ErrInProgress = errors.New("aio: operation in progress")
 
 // ErrClosed is returned when submitting to a closed context.
 var ErrClosed = errors.New("aio: context closed")
+
+// ErrHelperDied is the status of a request whose helper thread was
+// fault-killed before serving it: the delegated I/O never happened and
+// never will (glibc analogue: a pool thread dying takes its queued
+// aiocbs with it). The next submission respawns a helper.
+var ErrHelperDied = errors.New("aio: helper thread died")
+
+// killedExitStatus is the fault-killed helper's thread exit status
+// (128+SIGKILL, matching the rest of the fault plane).
+const killedExitStatus = 137
+
+// Timed-wait backoff bounds used when the fault plane may drop futex
+// wakes: waiters re-check on a timer so a lost wake costs latency, not
+// liveness.
+const (
+	waitBackoffBase = 10 * sim.Microsecond
+	waitBackoffMax  = 1 * sim.Millisecond
+)
 
 // Op is the requested operation.
 type Op int
@@ -63,9 +82,10 @@ type Context struct {
 	sleepWord uint64
 	sleeping  bool
 	closed    bool
+	dead      bool // the helper was fault-killed; respawn on next Submit
 
 	// Stats.
-	submitted, completed uint64
+	submitted, completed, respawns uint64
 }
 
 // New creates an AIO context owned by the given task. No helper thread
@@ -86,6 +106,9 @@ func (c *Context) Stats() (submitted, completed uint64) {
 	return c.submitted, c.completed
 }
 
+// Respawns reports how many fault-killed helpers were replaced.
+func (c *Context) Respawns() uint64 { return c.respawns }
+
 // Submit enqueues an asynchronous operation on behalf of t (which must
 // be the owner or share its address space). The first submission pays
 // pthread_create for the helper; every submission pays the dispatch
@@ -95,6 +118,14 @@ func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, 
 		return nil, ErrClosed
 	}
 	k := t.Kernel()
+	if c.dead {
+		// The previous helper was fault-killed; reap it and grow the
+		// pool back, exactly as glibc does after a pool thread exits.
+		t.Join(c.helper)
+		c.helper = nil
+		c.dead = false
+		c.respawns++
+	}
 	if c.helper == nil {
 		c.helper = t.Clone("aio-helper", kernel.PThreadFlags, c.helperBody)
 	}
@@ -141,10 +172,27 @@ func (r *Request) Return(t *kernel.Task) (int, error) {
 }
 
 // Suspend is aio_suspend: block the calling KLT until the request
-// completes, then return its result.
+// completes, then return its result. Injected EINTR and spurious wakes
+// are absorbed by re-checking the completion flag; when the fault plane
+// may drop the completion wake the wait is timed with growing backoff.
 func (r *Request) Suspend(t *kernel.Task) (int, error) {
+	fp := t.Kernel().Faults()
+	var backoff sim.Duration
 	for !r.done {
-		if err := t.FutexWait(r.waitWord, 0); err != nil && err != kernel.ErrFutexAgain {
+		var err error
+		if fp != nil && fp.Armed(t, "futex_lost_wake") {
+			if backoff == 0 {
+				backoff = waitBackoffBase
+			} else if backoff < waitBackoffMax {
+				backoff *= 2
+			}
+			err = t.FutexWaitTimeout(r.waitWord, 0, backoff)
+		} else {
+			err = t.FutexWait(r.waitWord, 0)
+		}
+		switch err {
+		case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut:
+		default:
 			return 0, err
 		}
 	}
@@ -170,17 +218,58 @@ func (c *Context) kick(t *kernel.Task) {
 	t.FutexWake(c.sleepWord, 1)
 }
 
+// die fails every queued request with ErrHelperDied and wakes their
+// Suspend waiters: the thread that would have executed the delegated I/O
+// is gone, so the requests can never complete. The context stays usable —
+// the next Submit replaces the helper.
+func (c *Context) die(t *kernel.Task) {
+	c.dead = true
+	for _, r := range c.queue {
+		r.err = ErrHelperDied
+		r.done = true
+		t.Space().WriteU64(r.waitWord, 1, nil)
+		t.FutexWake(r.waitWord, 1)
+	}
+	c.queue = nil
+}
+
 // helperBody is the AIO helper thread: serve requests until closed.
+//
+// The aio_helper_kill fault site sits at the top of the request loop —
+// between requests, never mid-I/O — so a kill strands queued aiocbs
+// (failed by die) but never half-written files.
 func (c *Context) helperBody(t *kernel.Task) int {
 	k := t.Kernel()
+	fp := k.Faults()
+	var backoff sim.Duration
 	for {
+		if fp != nil && fp.TaskShouldDie(t, "aio_helper_kill") {
+			c.die(t)
+			return killedExitStatus
+		}
 		for len(c.queue) == 0 {
 			if c.closed {
 				return 0
 			}
 			c.sleeping = true
-			if err := t.FutexWait(c.sleepWord, 0); err != nil && err != kernel.ErrFutexAgain {
+			var err error
+			if fp != nil && fp.Armed(t, "futex_lost_wake") {
+				if backoff == 0 {
+					backoff = waitBackoffBase
+				} else if backoff < waitBackoffMax {
+					backoff *= 2
+				}
+				err = t.FutexWaitTimeout(c.sleepWord, 0, backoff)
+			} else {
+				err = t.FutexWait(c.sleepWord, 0)
+			}
+			switch err {
+			case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut:
+			default:
 				panic(err)
+			}
+			if err != kernel.ErrTimedOut {
+				backoff = 0
 			}
 			c.sleeping = false
 			t.Space().WriteU64(c.sleepWord, 0, nil)

@@ -198,7 +198,7 @@ func Fig6Scenario(m *arch.Machine, syscallCores []int, oversubs []int) ([]Fig6Po
 			var makespan sim.Duration
 			e := sim.New()
 			k := kernel.New(e, m)
-			core.Boot(k, cfg, func(rt *core.Runtime) int {
+			_, bootErr := core.Boot(k, cfg, func(rt *core.Runtime) int {
 				start := e.Now()
 				prog := benchImage("fig6", func(envI interface{}) int {
 					env := envI.(*core.Env)
@@ -229,6 +229,9 @@ func Fig6Scenario(m *arch.Machine, syscallCores []int, oversubs []int) ([]Fig6Po
 				rt.Shutdown()
 				return 0
 			})
+			if bootErr != nil {
+				return nil, bootErr
+			}
 			if err := e.Run(); err != nil {
 				return nil, err
 			}

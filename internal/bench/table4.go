@@ -43,11 +43,13 @@ func benchImage(name string, fn loader.MainFunc) *loader.Image {
 func runULP(m *arch.Machine, idle blt.IdlePolicy, setup func(rt *core.Runtime)) error {
 	e := sim.New()
 	k := kernel.New(e, m)
-	core.Boot(k, ulpConfig(idle), func(rt *core.Runtime) int {
+	if _, err := core.Boot(k, ulpConfig(idle), func(rt *core.Runtime) int {
 		setup(rt)
 		rt.Shutdown()
 		return 0
-	})
+	}); err != nil {
+		return err
+	}
 	return e.Run()
 }
 

@@ -88,7 +88,14 @@ type BLT struct {
 	// original KC must not load UC0 before the scheduler has saved it.
 	ucSaved bool
 
+	// coupleErr, when set by the host's death path, is delivered to the
+	// BLT the next time it resumes inside Couple: the coupling request
+	// was bounced back to the home scheduler because the original KC is
+	// gone.
+	coupleErr error
+
 	done       bool
+	orphaned   bool // exited decoupled because the original KC died
 	exitStatus int
 
 	// Stats.
@@ -112,6 +119,11 @@ func (b *BLT) Done() bool { return b.done }
 
 // ExitStatus returns the body's return value (valid once Done).
 func (b *BLT) ExitStatus() int { return b.exitStatus }
+
+// Orphaned reports whether the BLT terminated decoupled because its
+// original KC died under fault injection. An orphaned BLT's status is
+// visible here but not through wait(2) on its (dead) KC.
+func (b *BLT) Orphaned() bool { return b.orphaned }
 
 // TLSBase returns the address of the BLT's thread descriptor (the TLS
 // register value its carrier holds while running it).
@@ -142,14 +154,18 @@ func (b *BLT) String() string { return "blt:" + b.name }
 
 // ucBody wraps the user body with the BLT lifecycle: optionally decouple
 // right away (the Fig. 6 scenario), and always terminate as a KLT
-// coupled with the original KC (paper rule 7).
+// coupled with the original KC (paper rule 7). When the original KC died
+// under fault injection, coupling is impossible; the UC then exits
+// decoupled and the scheduler reaps it as an orphan.
 func (b *BLT) ucBody(c *uctx.Context) {
 	if b.pool.cfg.StartDecoupled {
 		b.Decouple()
 	}
 	b.exitStatus = b.body(b)
 	if !b.coupled {
-		b.Couple()
+		if err := b.Couple(); err != nil {
+			b.orphaned = true
+		}
 	}
 }
 
@@ -186,9 +202,21 @@ func (b *BLT) Decouple() {
 // return, the code runs as a KLT on the original KC, so system-calls hit
 // the right kernel state. Calling Couple while already coupled is a
 // no-op.
-func (b *BLT) Couple() {
+//
+// When the original KC has terminated (possible only under fault
+// injection), Couple returns ErrHostDead and the BLT stays decoupled —
+// the kernel context that owned its PID and FD table no longer exists,
+// so there is nothing to couple to. Transient wakeup loss on the KC's
+// idle futex is survived transparently: the host's idle slot re-arms
+// with a bounded exponential-backoff timeout whenever lost wakes are a
+// possibility, so a dropped FUTEX_WAKE delays the couple but never hangs
+// it.
+func (b *BLT) Couple() error {
 	if b.coupled {
-		return
+		return nil
+	}
+	if b.host.dead {
+		return ErrHostDead
 	}
 	carrier := b.uc.Carrier() // the scheduler KC (Table I: KC1)
 	if carrier == b.host.task {
@@ -205,10 +233,18 @@ func (b *BLT) Couple() {
 	// the context saved (sync point 1) and runs another UC.
 	b.pool.trace("couple: swap_ctx(%s, next-UC)", b.name)
 	b.uc.Yield(tagCoupling)
-	// Resumed here by the original KC (Seq.4: swap_ctx(TC0, UC0)).
+	// Resumed here either by the original KC (Seq.4: swap_ctx(TC0, UC0))
+	// or — if the KC died with our request still queued — by the home
+	// scheduler, with coupleErr set.
+	if b.coupleErr != nil {
+		err := b.coupleErr
+		b.coupleErr = nil
+		return err
+	}
 	if got := b.uc.Carrier(); got != b.host.task {
 		panic(fmt.Sprintf("blt: %s coupled onto %s, want original KC %s", b, got, b.host.task))
 	}
+	return nil
 }
 
 // Yield is the ULT cooperative yield: requeue this UC on its home
@@ -226,13 +262,20 @@ func (b *BLT) Yield() {
 // Exec runs fn coupled to the original KC: the couple()/decouple()
 // bracket the paper recommends around any blocking system-call or series
 // of system-calls. If the BLT is already coupled, fn simply runs.
-func (b *BLT) Exec(fn func(kc *kernel.Task)) {
+//
+// When coupling is impossible because the original KC died, fn does NOT
+// run — running it on a scheduler KC would violate system-call
+// consistency — and Exec returns ErrNotCoupled (wrapping ErrHostDead).
+func (b *BLT) Exec(fn func(kc *kernel.Task)) error {
 	wasCoupled := b.coupled
 	if !wasCoupled {
-		b.Couple()
+		if err := b.Couple(); err != nil {
+			return fmt.Errorf("%w: %w", ErrNotCoupled, err)
+		}
 	}
 	fn(b.uc.Carrier())
 	if !wasCoupled {
 		b.Decouple()
 	}
+	return nil
 }

@@ -1,0 +1,287 @@
+package blt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// runPoolFaults is runPool with a fault plane installed before the pool
+// (and its scheduler KCs) exists. It returns the plane for stats checks.
+func runPoolFaults(t *testing.T, cfg Config, seed uint64, specs []fault.Spec,
+	body func(root *kernel.Task, p *Pool)) *fault.Plane {
+	t.Helper()
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	plane := fault.NewPlane(seed, specs)
+	k.SetFaultPlane(plane)
+	root := k.NewTask("root", k.NewAddressSpace(), func(task *kernel.Task) int {
+		pool, err := NewPool(task, cfg)
+		if err != nil {
+			t.Errorf("NewPool: %v", err)
+			return 1
+		}
+		body(task, pool)
+		pool.Shutdown(task)
+		return 0
+	})
+	k.Start(root, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return plane
+}
+
+// TestKCKillOrphansULP drives the tentpole recovery path end to end: the
+// original KC is killed while its UC is decoupled, Couple() surfaces
+// ErrHostDead instead of hanging or panicking, Exec refuses to run the
+// function (ErrNotCoupled wrapping ErrHostDead), the UC finishes
+// decoupled and is reaped by its scheduler as an orphan, and wait(2) on
+// the dead KC reports the kill status.
+func TestKCKillOrphansULP(t *testing.T) {
+	for _, idle := range []IdlePolicy{BusyWait, Blocking} {
+		t.Run(idle.String(), func(t *testing.T) {
+			var coupleErr, execErr error
+			execRan := false
+			var victim *BLT
+			runPoolFaults(t, testConfig(idle), 1,
+				[]fault.Spec{{Site: fault.SiteKCKill, Nth: 3, TaskPrefix: "kc.victim"}},
+				func(root *kernel.Task, p *Pool) {
+					b, err := p.Spawn(func(b *BLT) int {
+						b.Decouple()
+						coupleErr = b.Couple()
+						execErr = b.Exec(func(kc *kernel.Task) { execRan = true })
+						return 7
+					}, SpawnOpts{Name: "victim", Scheduler: 0})
+					if err != nil {
+						t.Fatal(err)
+					}
+					victim = b
+					reap(t, root, 1)
+				})
+			if !errors.Is(coupleErr, ErrHostDead) {
+				t.Errorf("Couple() after KC death = %v, want ErrHostDead", coupleErr)
+			}
+			if !errors.Is(execErr, ErrNotCoupled) || !errors.Is(execErr, ErrHostDead) {
+				t.Errorf("Exec() after KC death = %v, want ErrNotCoupled wrapping ErrHostDead", execErr)
+			}
+			if execRan {
+				t.Error("Exec ran its function on a dead host (consistency violation)")
+			}
+			if !victim.Done() || !victim.Orphaned() {
+				t.Errorf("victim done=%v orphaned=%v, want true/true", victim.Done(), victim.Orphaned())
+			}
+			if victim.ExitStatus() != 7 {
+				t.Errorf("orphan exit status = %d, want 7", victim.ExitStatus())
+			}
+		})
+	}
+}
+
+// TestKCKillStatusVisibleViaWait asserts the killed KC's task is reaped
+// by wait(2) with KilledExitStatus, like a process killed by SIGKILL.
+func TestKCKillStatusVisibleViaWait(t *testing.T) {
+	gotStatus := -1
+	runPoolFaults(t, testConfig(Blocking), 2,
+		[]fault.Spec{{Site: fault.SiteKCKill, Nth: 3, TaskPrefix: "kc.victim"}},
+		func(root *kernel.Task, p *Pool) {
+			if _, err := p.Spawn(func(b *BLT) int {
+				b.Decouple()
+				b.Couple() // fails: host dead
+				return 0
+			}, SpawnOpts{Name: "victim", Scheduler: 0}); err != nil {
+				t.Fatal(err)
+			}
+			_, status, err := root.Wait()
+			if err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			gotStatus = status
+		})
+	if gotStatus != KilledExitStatus {
+		t.Errorf("killed KC wait status = %d, want %d", gotStatus, KilledExitStatus)
+	}
+}
+
+// TestSchedKillRehomesQueue kills scheduler 0 once a UC is queued on it;
+// the queue must drain to scheduler 1 and every BLT still complete.
+func TestSchedKillRehomesQueue(t *testing.T) {
+	for _, idle := range []IdlePolicy{BusyWait, Blocking} {
+		t.Run(idle.String(), func(t *testing.T) {
+			const n = 3
+			var blts [n]*BLT
+			var pool *Pool
+			runPoolFaults(t, testConfig(idle), 3,
+				[]fault.Spec{{Site: fault.SiteSchedKill, Nth: 2, TaskPrefix: "sched.c0"}},
+				func(root *kernel.Task, p *Pool) {
+					pool = p
+					for i := 0; i < n; i++ {
+						b, err := p.Spawn(func(b *BLT) int {
+							b.Decouple()
+							for j := 0; j < 4; j++ {
+								b.Yield()
+							}
+							b.Couple()
+							return 11
+						}, SpawnOpts{Name: "w", Scheduler: 0})
+						if err != nil {
+							t.Fatal(err)
+						}
+						blts[i] = b
+					}
+					reap(t, root, n)
+				})
+			if !pool.Schedulers()[0].Dead() {
+				t.Fatal("scheduler 0 not dead; kill never fired")
+			}
+			for i, b := range blts {
+				if !b.Done() || b.ExitStatus() != 11 {
+					t.Errorf("blt %d: done=%v status=%d, want true/11", i, b.Done(), b.ExitStatus())
+				}
+				if b.Orphaned() {
+					t.Errorf("blt %d orphaned; sched death must not orphan UCs", i)
+				}
+			}
+			if d := pool.Schedulers()[1].Dispatches(); d == 0 {
+				t.Error("scheduler 1 never dispatched; re-homing failed")
+			}
+		})
+	}
+}
+
+// TestLastSchedulerImmune: with one program core, sched_kill must be
+// suppressed — killing the last scheduler would strand every UC.
+func TestLastSchedulerImmune(t *testing.T) {
+	cfg := testConfig(Blocking)
+	cfg.ProgCores = []int{0}
+	runPoolFaults(t, cfg, 4,
+		[]fault.Spec{{Site: fault.SiteSchedKill, Every: 1}},
+		func(root *kernel.Task, p *Pool) {
+			b, err := p.Spawn(func(b *BLT) int {
+				b.Decouple()
+				b.Yield()
+				b.Couple()
+				return 5
+			}, SpawnOpts{Name: "only", Scheduler: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reap(t, root, 1)
+			if !b.Done() || b.ExitStatus() != 5 {
+				t.Errorf("done=%v status=%d, want true/5", b.Done(), b.ExitStatus())
+			}
+		})
+}
+
+// TestLostWakeupRecovery drops a fraction of the futex wakes aimed at
+// the BLOCKING idle slots; the backoff timers must recover every one —
+// couple/decouple churn completes, only later in virtual time.
+func TestLostWakeupRecovery(t *testing.T) {
+	plane := runPoolFaults(t, testConfig(Blocking), 5,
+		[]fault.Spec{
+			{Site: fault.SiteFutexLostWake, Prob: 0.5, TaskPrefix: "kc."},
+			{Site: fault.SiteFutexLostWake, Prob: 0.5, TaskPrefix: "sched."},
+		},
+		func(root *kernel.Task, p *Pool) {
+			const n, cycles = 4, 8
+			for i := 0; i < n; i++ {
+				if _, err := p.Spawn(func(b *BLT) int {
+					for c := 0; c < cycles; c++ {
+						b.Decouple()
+						b.Yield()
+						b.Couple()
+					}
+					return 0
+				}, SpawnOpts{Name: "churn", Scheduler: -1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reap(t, root, n)
+		})
+	if plane.Injections() == 0 {
+		t.Error("no wakes were dropped; the test exercised nothing")
+	}
+}
+
+// TestSpuriousAndEINTRTolerated: spurious futex wakeups and injected
+// EINTR on futex_wait must be absorbed by the idle slots without panics
+// or lost work.
+func TestSpuriousAndEINTRTolerated(t *testing.T) {
+	plane := runPoolFaults(t, testConfig(Blocking), 6,
+		[]fault.Spec{
+			{Site: fault.SiteFutexSpurious, Prob: 0.3},
+			{Site: fault.SiteFutexWait, Prob: 0.2, Err: "eintr"},
+		},
+		func(root *kernel.Task, p *Pool) {
+			const n = 3
+			for i := 0; i < n; i++ {
+				if _, err := p.Spawn(func(b *BLT) int {
+					for c := 0; c < 5; c++ {
+						b.Decouple()
+						b.Couple()
+					}
+					return 0
+				}, SpawnOpts{Name: "jitter", Scheduler: -1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reap(t, root, n)
+		})
+	if plane.Injections() == 0 {
+		t.Error("nothing injected; the test exercised nothing")
+	}
+}
+
+// TestFaultDeterminism: the same (seed, specs) must produce the same end
+// time and stats; a different seed (with probabilistic specs) a
+// different schedule.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(seed uint64) (sim.Time, uint64) {
+		e := sim.New()
+		k := kernel.New(e, arch.Wallaby())
+		plane := fault.NewPlane(seed, []fault.Spec{
+			{Site: fault.SiteFutexLostWake, Prob: 0.4},
+			{Site: fault.SiteSchedDelay, Prob: 0.3, DelayUS: 20},
+		})
+		k.SetFaultPlane(plane)
+		root := k.NewTask("root", k.NewAddressSpace(), func(task *kernel.Task) int {
+			pool, err := NewPool(task, testConfig(Blocking))
+			if err != nil {
+				t.Errorf("NewPool: %v", err)
+				return 1
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := pool.Spawn(func(b *BLT) int {
+					for c := 0; c < 6; c++ {
+						b.Decouple()
+						b.Couple()
+					}
+					return 0
+				}, SpawnOpts{Name: "det", Scheduler: -1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reap(t, task, 3)
+			pool.Shutdown(task)
+			return 0
+		})
+		k.Start(root, 0)
+		if err := e.Run(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		return e.Now(), plane.Injections()
+	}
+	t1, i1 := run(99)
+	t2, i2 := run(99)
+	if t1 != t2 || i1 != i2 {
+		t.Errorf("same seed diverged: end %v/%v, injections %d/%d", t1, t2, i1, i2)
+	}
+	t3, _ := run(100)
+	if t3 == t1 {
+		t.Log("note: different seed produced the same end time (possible but unlikely)")
+	}
+}

@@ -30,6 +30,7 @@ type KCHost struct {
 	residents int    // live BLTs whose original KC this is
 	lastExit  int
 	dead      bool // the KC task has returned; no further adoption
+	killed    bool // the KC died by fault injection (kc_kill)
 
 	// running is the BLT currently coupled and executing on this KC.
 	running *BLT
@@ -70,8 +71,21 @@ func (h *KCHost) adopt(b *BLT, creator *kernel.Task) error {
 
 // enqueueCoupled is Table I Seq.1+2: a decoupled UC (running on carrier,
 // a scheduler KC) requests coupling; the idle original KC is unblocked.
+//
+// The dead re-check after the charge is load-bearing: Couple's fast-path
+// check and this append straddle a virtual-time yield point (the queue-op
+// charge), so a fault-killed KC can die — and drain its queue — in
+// between. A request appended after that drain would never be served or
+// bounced, so it is bounced here instead, exactly as die would have.
 func (h *KCHost) enqueueCoupled(b *BLT, carrier *kernel.Task) {
 	carrier.Charge(h.pool.kern.Machine().Costs.RunQueueOp)
+	if h.dead {
+		b.coupled = false
+		b.coupleErr = ErrHostDead
+		h.pool.trace("kc: dead; bounce %s to sched%d", b.name, b.home.index)
+		b.home.enqueue(b, carrier)
+		return
+	}
 	h.queue = append(h.queue, b)
 	h.slot.kick(carrier)
 }
@@ -90,13 +104,29 @@ func (h *KCHost) dequeue(t *kernel.Task) *BLT {
 // coupling (or newly created) BLT to the KC main loop. Running the idle
 // wait on this dedicated small stack — never on a UC stack — is exactly
 // what makes decoupling safe (paper §V-A).
+//
+// The kc_kill fault site lives here, and only here: the KC can die right
+// after going idle (its UC mid-decouple on a scheduler) or right after
+// waking for a couple request (the requester mid-couple), but never
+// inside the ucSaved handshake — matching a real SIGKILL, which a KC
+// blocked in futex_wait or sched_yield can absorb at any time, while the
+// handshake windows are a few uninterruptible instructions.
 func (h *KCHost) tcBody(c *uctx.Context) {
 	costs := h.pool.kern.Machine().Costs
+	fp := h.pool.kern.Faults()
 	for {
+		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
+			h.killed = true // mid-decouple: the KC dies while idle
+			return
+		}
 		h.slot.wait(c.Carrier(), func() bool {
 			return len(h.queue) > 0 || h.residents == 0
 		})
 		if h.residents == 0 && len(h.queue) == 0 {
+			return
+		}
+		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
+			h.killed = true // mid-couple: a request is queued, never served
 			return
 		}
 		b := h.dequeue(c.Carrier())
@@ -111,6 +141,10 @@ func (h *KCHost) tcBody(c *uctx.Context) {
 	}
 }
 
+// KilledExitStatus is the exit status a fault-killed KC or scheduler
+// task reports: 128+9, the shell convention for death by SIGKILL.
+const KilledExitStatus = 137
+
 // main is the original KC's kernel-task body: alternate between the
 // trampoline context (idle) and whichever UC is currently coupled.
 func (h *KCHost) main(t *kernel.Task) int {
@@ -122,6 +156,10 @@ func (h *KCHost) main(t *kernel.Task) int {
 		ev := h.tc.Step(t)
 		if ev.Kind == uctx.EvExit {
 			h.dead = true
+			if h.killed {
+				h.die(t)
+				return KilledExitStatus
+			}
 			return h.lastExit
 		}
 		b := ev.Tag.(*BLT)
@@ -129,6 +167,23 @@ func (h *KCHost) main(t *kernel.Task) int {
 		h.pool.trace("kc: swap_ctx(TC, %s)", b.name)
 		t.Charge(costs.UserCtxSwap)
 		h.runCoupled(t, b)
+	}
+}
+
+// die bounces every queued couple request back to its BLT's home
+// scheduler with coupleErr set: the requester resumes inside Couple,
+// observes ErrHostDead and continues decoupled. BLTs queued for their
+// initial coupled run (created but never dispatched) are downgraded to a
+// decoupled start the same way — their kernel context is gone before
+// their first instruction, like a thread whose process died during
+// pthread_create.
+func (h *KCHost) die(t *kernel.Task) {
+	for len(h.queue) > 0 {
+		b := h.dequeue(t)
+		b.coupled = false
+		b.coupleErr = ErrHostDead
+		h.pool.trace("kc: dead; bounce %s to sched%d", b.name, b.home.index)
+		b.home.enqueue(b, t)
 	}
 }
 

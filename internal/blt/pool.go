@@ -232,6 +232,30 @@ func (p *Pool) newHost(name string) (*KCHost, error) {
 	return h, nil
 }
 
+// liveScheds counts schedulers not killed by fault injection.
+func (p *Pool) liveScheds() int {
+	n := 0
+	for _, s := range p.scheds {
+		if !s.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// nextLiveSched returns the first live scheduler scanning deterministically
+// from the index after `from`, or nil when all are dead.
+func (p *Pool) nextLiveSched(from int) *Scheduler {
+	n := len(p.scheds)
+	for i := 1; i <= n; i++ {
+		s := p.scheds[(from+i)%n]
+		if !s.dead {
+			return s
+		}
+	}
+	return nil
+}
+
 // Shutdown stops all schedulers; call it (from any running task) after
 // every BLT has terminated so the engine can drain. Idempotent.
 func (p *Pool) Shutdown(t *kernel.Task) {
@@ -247,12 +271,24 @@ func (p *Pool) Shutdown(t *kernel.Task) {
 // Stopped reports whether Shutdown ran.
 func (p *Pool) Stopped() bool { return p.stopped }
 
+// Timeout bounds for the BLOCKING idle slot's lost-wakeup recovery: the
+// first re-check fires after idleWaitBase of virtual time and doubles on
+// every consecutive timeout up to idleWaitMax (bounded exponential
+// backoff). Timed waits are armed only when the fault plane could drop a
+// wake for this task; otherwise the slot sleeps indefinitely exactly as
+// before, keeping fault-free schedules bit-identical.
+const (
+	idleWaitBase = 10 * sim.Microsecond
+	idleWaitMax  = 1 * sim.Millisecond
+)
+
 // idleSlot implements the two idle policies over a futex word in the
 // creator's address space.
 type idleSlot struct {
 	pool     *Pool
 	word     uint64
 	sleeping bool
+	backoff  sim.Duration // current lost-wake recovery timeout (0 = base)
 
 	// spun accumulates CPU time burned busy-waiting — the power proxy
 	// of the idle-policy ablation (§VII: "busy-waiting consumes more
@@ -290,11 +326,37 @@ func (s *idleSlot) wait(t *kernel.Task, cond func() bool) {
 		}
 		return
 	}
+	fp := s.pool.kern.Faults()
+	timed := fp != nil && fp.Armed(t, "futex_lost_wake")
 	for !cond() {
 		s.sleeping = true
-		err := t.FutexWait(s.word, 0)
+		var err error
+		if timed {
+			// A kick aimed at this task may be dropped; re-check the
+			// condition on a backoff timer so a lost FUTEX_WAKE costs
+			// latency, not liveness.
+			d := s.backoff
+			if d == 0 {
+				d = idleWaitBase
+			}
+			err = t.FutexWaitTimeout(s.word, 0, d)
+			if err == kernel.ErrTimedOut {
+				if d *= 2; d > idleWaitMax {
+					d = idleWaitMax
+				}
+				s.backoff = d
+			} else {
+				s.backoff = 0
+			}
+		} else {
+			err = t.FutexWait(s.word, 0)
+		}
 		s.sleeping = false
-		if err != nil && err != kernel.ErrFutexAgain {
+		switch err {
+		case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut:
+			// Normal wake, spurious wake, signal or recovery timeout:
+			// all just re-check the condition.
+		default:
 			panic(fmt.Sprintf("blt: idle futex: %v", err))
 		}
 		// Consume the kick so the next wait sleeps again.

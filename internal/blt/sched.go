@@ -31,12 +31,16 @@ type Scheduler struct {
 	// attribute system-calls made by decoupled UCs.
 	running *BLT
 
-	index int // position in the pool's scheduler list
+	index int  // position in the pool's scheduler list
+	dead  bool // killed by fault injection (sched_kill)
 
 	// Stats.
 	dispatches uint64
 	steals     uint64
 }
+
+// Dead reports whether the scheduler was killed by fault injection.
+func (s *Scheduler) Dead() bool { return s.dead }
 
 // Steals reports how many UCs this scheduler stole from peers.
 func (s *Scheduler) Steals() uint64 { return s.steals }
@@ -62,7 +66,19 @@ func (s *Scheduler) SpunIdle() sim.Duration { return s.slot.Spun() }
 // enqueue adds a decoupled (or yielding) UC to the ready queue; the
 // caller pays the queue cost and the wake kick. Under work stealing
 // every scheduler is kicked, since any of them may claim the UC.
+// Enqueues aimed at a dead scheduler are redirected to the next live
+// one, which becomes the BLT's new home.
 func (s *Scheduler) enqueue(b *BLT, from *kernel.Task) {
+	if s.dead {
+		live := s.pool.nextLiveSched(s.index)
+		if live == nil {
+			// Unreachable: the last live scheduler is never killed.
+			panic(fmt.Sprintf("blt: enqueue(%s) with every scheduler dead", b))
+		}
+		b.home = live
+		live.enqueue(b, from)
+		return
+	}
 	from.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
 	s.q = append(s.q, b)
 	if s.pool.cfg.WorkStealing {
@@ -95,6 +111,9 @@ func (s *Scheduler) loop(t *kernel.Task) int {
 	for {
 		b := s.acquire(t)
 		if b == nil {
+			if s.dead {
+				return KilledExitStatus
+			}
 			return 0
 		}
 		s.runUC(t, b, costs.UserCtxSwap)
@@ -104,8 +123,20 @@ func (s *Scheduler) loop(t *kernel.Task) int {
 // acquire obtains the next runnable BLT: from the local queue, by
 // stealing from a peer scheduler (when Config.WorkStealing is on), or
 // after idling per the pool policy. Returns nil once the pool stops.
+//
+// The sched_kill fault site lives at the top of the loop — between UC
+// dispatches, never while a UC context is loaded — so a kill can strand
+// queued UCs (drained by die) but never a half-switched context. The
+// last live scheduler is immune: with every program core dead no UC
+// could ever run again, which models an operator who would restart the
+// service rather than a recoverable fault.
 func (s *Scheduler) acquire(t *kernel.Task) *BLT {
+	fp := s.pool.kern.Faults()
 	for {
+		if fp != nil && fp.TaskShouldDie(t, "sched_kill") && s.pool.liveScheds() > 1 {
+			s.die(t)
+			return nil
+		}
 		if len(s.q) > 0 {
 			if b := s.dequeue(t); b != nil {
 				return b
@@ -121,6 +152,23 @@ func (s *Scheduler) acquire(t *kernel.Task) *BLT {
 			}
 		}
 		s.slot.wait(t, func() bool { return len(s.q) > 0 || s.pool.stopped || s.stealable() })
+	}
+}
+
+// die marks the scheduler dead and drains its ready queue into the next
+// live scheduler, which adopts the stranded UCs as their new home. The
+// pool keeps running on the remaining program cores.
+func (s *Scheduler) die(t *kernel.Task) {
+	s.dead = true
+	live := s.pool.nextLiveSched(s.index)
+	s.pool.trace("sched%d: killed; re-homing %d UCs to sched%d", s.index, len(s.q), live.index)
+	for len(s.q) > 0 {
+		b := s.dequeue(t)
+		if b == nil {
+			continue
+		}
+		b.home = live
+		live.enqueue(b, t)
 	}
 }
 
@@ -182,12 +230,28 @@ func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
 	if b.uc.Running() {
 		panic(fmt.Sprintf("blt: %s marked saved but still running", b))
 	}
+	if fp := s.pool.kern.Faults(); fp != nil {
+		if d := fp.ExtraDelay(t, "sched_delay"); d > 0 {
+			// Injected scheduler latency: the UC sits ready while its
+			// scheduler dawdles — widening the Table I race windows.
+			t.Charge(d)
+		}
+	}
 	s.dispatches++
 	s.pool.trace("sched%d: swap_ctx(.., %s)", s.index, b.name) // Seq.9 after decouple
 	s.running = b
 	ev := b.uc.Step(t)
 	s.running = nil
 	if ev.Kind == uctx.EvExit {
+		if b.orphaned {
+			// The UC could not couple for its terminal run because its
+			// original KC died; reap it here instead of hanging the pool.
+			// Its exit status stays visible via ExitStatus/Orphaned.
+			b.done = true
+			b.host.residents--
+			s.pool.trace("sched%d: reap orphan %s (status=%d)", s.index, b.name, b.exitStatus)
+			return
+		}
 		panic(fmt.Sprintf("blt: %s exited while decoupled; BLTs must terminate as KLTs", b))
 	}
 	switch tg := ev.Tag.(yieldTag); tg {

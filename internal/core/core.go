@@ -58,6 +58,12 @@ type Config struct {
 	// made by ULP code outside a coupled section are recorded as
 	// violations.
 	Audit bool
+	// AuditPanic makes a consistency violation panic immediately instead
+	// of being collected. Collect (the default) is what fault-injection
+	// and chaos runs need: an injected fault may legitimately push a
+	// system-call onto the wrong KC, and the run must complete so the
+	// violation list can be asserted on, not die mid-flight.
+	AuditPanic bool
 	// WorkStealing lets idle schedulers steal ready ULPs from peers
 	// (see blt.Config.WorkStealing).
 	WorkStealing bool
@@ -90,11 +96,45 @@ type Runtime struct {
 	exports    map[string]uint64
 }
 
+// BootFailedExitStatus is the root task's exit status when the BLT pool
+// cannot be constructed at simulation time despite the eager validation
+// (e.g. address-space exhaustion); main is never called.
+const BootFailedExitStatus = 125
+
+// validateConfig rejects impossible deployments before any simulated
+// work happens, so misconfiguration surfaces as an error from Boot, not
+// a panic from inside the simulation.
+func validateConfig(k *kernel.Kernel, cfg Config) error {
+	if len(cfg.ProgCores) == 0 {
+		return fmt.Errorf("core: config needs at least one program core")
+	}
+	if len(cfg.SyscallCores) == 0 {
+		return fmt.Errorf("core: config needs at least one syscall core")
+	}
+	for _, set := range [][]int{cfg.ProgCores, cfg.SyscallCores} {
+		for _, c := range set {
+			if c < 0 || c >= k.Cores() {
+				return fmt.Errorf("core: %w: core %d (machine %s has %d)",
+					kernel.ErrBadCore, c, k.Machine().Name, k.Cores())
+			}
+		}
+	}
+	return nil
+}
+
 // Boot creates the PiP root process and the BLT pool inside it, then
 // runs main with the ready runtime. The returned kernel task is the
 // root; the simulation ends when main returns (after it has reaped its
 // ULPs and shut the pool down — Runtime.WaitAll + Shutdown do this).
-func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) *kernel.Task {
+//
+// An impossible configuration (no cores, out-of-range core ids) is
+// reported here, before the simulation starts. A residual pool failure
+// at simulation time exits the root with BootFailedExitStatus instead of
+// panicking; main does not run.
+func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) (*kernel.Task, error) {
+	if err := validateConfig(k, cfg); err != nil {
+		return nil, err
+	}
 	space := k.NewAddressSpace()
 	c := k.Machine().Costs
 	ld := loader.New(space, loader.Costs{DlmopenBase: c.DlmopenBase, DlmopenPerSym: c.DlmopenPerSym})
@@ -112,7 +152,7 @@ func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) *kernel.Task
 			StartDecoupled: false,
 		})
 		if err != nil {
-			panic(fmt.Sprintf("core: pool: %v", err))
+			return BootFailedExitStatus
 		}
 		rt.pool = pool
 		if cfg.Audit {
@@ -122,7 +162,7 @@ func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) *kernel.Task
 		return main(rt)
 	})
 	k.Start(task, 0)
-	return task
+	return task, nil
 }
 
 // Kernel returns the kernel the runtime runs on.
@@ -172,9 +212,11 @@ func (rt *Runtime) installAuditor() {
 		for _, s := range scheds {
 			if s.Task() == t {
 				if b := s.Running(); b != nil {
-					rt.violations = append(rt.violations, Violation{
-						ULP: b.Name(), Syscall: name, PID: t.TGID(),
-					})
+					v := Violation{ULP: b.Name(), Syscall: name, PID: t.TGID()}
+					if rt.cfg.AuditPanic {
+						panic(fmt.Sprintf("core: consistency violation: %s issued %s on KC pid %d", v.ULP, v.Syscall, v.PID))
+					}
+					rt.violations = append(rt.violations, v)
 				}
 				return
 			}
@@ -205,6 +247,10 @@ func (u *ULP) Done() bool { return u.b.Done() }
 
 // ExitStatus returns the ULP's exit status (valid once Done).
 func (u *ULP) ExitStatus() int { return u.b.ExitStatus() }
+
+// Orphaned reports whether the ULP finished decoupled because its
+// original KC was killed by fault injection (see blt.BLT.Orphaned).
+func (u *ULP) Orphaned() bool { return u.b.Orphaned() }
 
 // SpawnOpts parameterizes Spawn.
 type SpawnOpts struct {
@@ -261,15 +307,34 @@ func (rt *Runtime) Spawn(img *loader.Image, opts SpawnOpts) (*ULP, error) {
 }
 
 // WaitAll reaps every distinct original KC via wait(2) and returns the
-// per-ULP exit statuses in rank order.
+// per-ULP exit statuses in rank order. It terminates even under fault
+// injection: a signal interrupting the wait is retried, and a
+// fault-killed KC is reaped like any exited process (its surviving ULPs
+// finish decoupled and report their statuses here all the same — see
+// ULP.Orphaned).
 func (rt *Runtime) WaitAll() ([]int, error) {
 	hosts := map[*blt.KCHost]bool{}
 	for _, u := range rt.ulps {
 		hosts[u.b.Host()] = true
 	}
 	for range hosts {
-		if _, _, err := rt.rootTsk.Wait(); err != nil {
-			return nil, err
+		for {
+			_, _, err := rt.rootTsk.Wait()
+			if err == kernel.ErrInterrupted {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	// A fault-killed KC can be reaped while its orphaned ULPs still run
+	// decoupled on the schedulers; wait for them so the statuses below
+	// are final. Fault-free runs never enter the sleep.
+	for _, u := range rt.ulps {
+		for !u.b.Done() {
+			rt.rootTsk.Nanosleep(10 * sim.Microsecond)
 		}
 	}
 	statuses := make([]int, len(rt.ulps))
@@ -299,8 +364,9 @@ type Env struct {
 // the original KC while coupled, a scheduler KC while decoupled.
 func (e *Env) Carrier() *kernel.Task { return e.U.b.Carrier() }
 
-// Couple attaches the ULP to its original KC (see blt.BLT.Couple).
-func (e *Env) Couple() { e.U.b.Couple() }
+// Couple attaches the ULP to its original KC (see blt.BLT.Couple). It
+// returns blt.ErrHostDead when the KC died under fault injection.
+func (e *Env) Couple() error { return e.U.b.Couple() }
 
 // Decouple detaches the ULP from its original KC (see blt.BLT.Decouple).
 func (e *Env) Decouple() { e.U.b.Decouple() }
@@ -312,8 +378,46 @@ func (e *Env) Coupled() bool { return e.U.b.Coupled() }
 func (e *Env) Yield() { e.U.b.Yield() }
 
 // Exec runs fn coupled to the original KC — the couple()/decouple()
-// bracket for a system-call or a series of system-calls.
-func (e *Env) Exec(fn func(kc *kernel.Task)) { e.U.b.Exec(fn) }
+// bracket for a system-call or a series of system-calls. When coupling
+// is impossible (dead KC), fn does not run and Exec returns
+// blt.ErrNotCoupled wrapping blt.ErrHostDead.
+func (e *Env) Exec(fn func(kc *kernel.Task)) error { return e.U.b.Exec(fn) }
+
+// Transient-retry parameters for the Env system-call wrappers: an
+// injected EINTR or EAGAIN is retried up to syscallRetries times with
+// exponentially growing user-mode backoff, starting at retryBackoffBase.
+// Non-transient errors (ENOSPC, EBADF, ...) surface immediately.
+const (
+	syscallRetries   = 8
+	retryBackoffBase = 1 * sim.Microsecond
+)
+
+// transient reports whether err is worth retrying.
+func transient(err error) bool {
+	return errors.Is(err, kernel.ErrInterrupted) || errors.Is(err, kernel.ErrTryAgain)
+}
+
+// execRetry runs op coupled, retrying transient failures with bounded
+// exponential backoff burned on the current carrier (the ULP stays
+// schedulable at user level between attempts). The returned error is
+// op's last error, or the coupling error when the original KC is gone.
+func (e *Env) execRetry(op func(kc *kernel.Task) error) error {
+	backoff := retryBackoffBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		execErr := e.Exec(func(kc *kernel.Task) { err = op(kc) })
+		if execErr != nil {
+			return execErr
+		}
+		if err == nil || !transient(err) || attempt == syscallRetries {
+			return err
+		}
+		e.Carrier().Compute(backoff)
+		if backoff *= 2; backoff > 128*retryBackoffBase {
+			backoff = 128 * retryBackoffBase
+		}
+	}
+}
 
 // Getpid is a consistency-preserving getpid(): it couples, calls, and
 // restores the previous coupling state.
@@ -326,29 +430,44 @@ func (e *Env) Getpid() (pid int) {
 // the paper's inconsistency example, kept for demonstration and tests.
 func (e *Env) GetpidRaw() int { return e.Carrier().Getpid() }
 
-// Open opens a file consistently (on the original KC).
+// Open opens a file consistently (on the original KC), retrying
+// transient injected failures (EINTR/EAGAIN).
 func (e *Env) Open(path string, flags fs.OpenFlags) (fd int, err error) {
-	e.Exec(func(kc *kernel.Task) { fd, err = kc.Open(path, flags) })
+	err = e.execRetry(func(kc *kernel.Task) error {
+		var opErr error
+		fd, opErr = kc.Open(path, flags)
+		return opErr
+	})
 	return fd, err
 }
 
-// Write writes to an fd consistently. remote is chosen by the runtime:
-// while the open-write-close executes on the dedicated syscall core, the
-// buffer streams from the program core (the Fig. 7 cache effect).
+// Write writes to an fd consistently, retrying transient injected
+// failures. remote is chosen by the runtime: while the open-write-close
+// executes on the dedicated syscall core, the buffer streams from the
+// program core (the Fig. 7 cache effect).
 func (e *Env) Write(fd int, data []byte) (n int, err error) {
-	e.Exec(func(kc *kernel.Task) { n, err = kc.Write(fd, data, true) })
+	err = e.execRetry(func(kc *kernel.Task) error {
+		var opErr error
+		n, opErr = kc.Write(fd, data, true)
+		return opErr
+	})
 	return n, err
 }
 
-// Read reads from an fd consistently.
+// Read reads from an fd consistently, retrying transient injected
+// failures.
 func (e *Env) Read(fd int, buf []byte) (n int, err error) {
-	e.Exec(func(kc *kernel.Task) { n, err = kc.Read(fd, buf) })
+	err = e.execRetry(func(kc *kernel.Task) error {
+		var opErr error
+		n, opErr = kc.Read(fd, buf)
+		return opErr
+	})
 	return n, err
 }
 
 // Close closes an fd consistently.
 func (e *Env) Close(fd int) (err error) {
-	e.Exec(func(kc *kernel.Task) { err = kc.Close(fd) })
+	err = e.execRetry(func(kc *kernel.Task) error { return kc.Close(fd) })
 	return err
 }
 

@@ -36,11 +36,13 @@ func boot(t *testing.T, m *arch.Machine, cfg Config, main func(rt *Runtime) int)
 	t.Helper()
 	e := sim.New()
 	k := kernel.New(e, m)
-	Boot(k, cfg, func(rt *Runtime) int {
+	if _, err := Boot(k, cfg, func(rt *Runtime) int {
 		status := main(rt)
 		rt.Shutdown()
 		return status
-	})
+	}); err != nil {
+		t.Fatalf("boot: %v", err)
+	}
 	if err := e.Run(); err != nil {
 		t.Fatalf("engine: %v", err)
 	}

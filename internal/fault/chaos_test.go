@@ -1,0 +1,110 @@
+// Chaos fuzzing of the Table I protocol: seeded random operation mixes
+// under the default fault plane, across both machine models and both
+// idle policies. Each seed's run is verified (syscall consistency, no
+// lost BLTs, WaitAll termination) and re-run to prove the digest is a
+// pure function of the seed. A failure prints the ulpsim repro command.
+//
+// This file is an external test package (fault_test): the chaos driver
+// imports internal/blt, whose own in-package tests import internal/fault,
+// so an in-package chaos test would be an import cycle.
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/blt"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// TestChaosSeedMatrix is the headline acceptance run: 64 seeds spread
+// over {Wallaby, Albireo} x {BusyWait, Blocking}, each run twice for
+// determinism. -short keeps a quarter of the matrix for quick runs.
+func TestChaosSeedMatrix(t *testing.T) {
+	seedsPerCell := 16
+	if testing.Short() {
+		seedsPerCell = 4
+	}
+	for _, m := range arch.Machines() {
+		for _, idle := range []blt.IdlePolicy{blt.BusyWait, blt.Blocking} {
+			m, idle := m, idle
+			t.Run(m.Name+"/"+idle.String(), func(t *testing.T) {
+				for s := 0; s < seedsPerCell; s++ {
+					seed := uint64(1 + s)
+					cfg := chaos.Config{Machine: m, Seed: seed, Idle: idle}
+					d1, err := chaos.Run(cfg)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					d2, err := chaos.Run(cfg)
+					if err != nil {
+						t.Fatalf("seed %d (rerun): %v", seed, err)
+					}
+					if !d1.Equal(d2) {
+						t.Fatalf("seed %d nondeterministic:\n  run1: %s\n  run2: %s\nrepro: %s",
+							seed, d1, d2, chaos.ReproCommand(cfg))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosUcontextMode runs a slice of seeds with ucontext-style
+// (mask-switching) context switches, the slower §VII mode.
+func TestChaosUcontextMode(t *testing.T) {
+	for seed := uint64(100); seed < 104; seed++ {
+		cfg := chaos.Config{Seed: seed, Idle: blt.Blocking, SigMode: core.UcontextMode}
+		if _, err := chaos.Run(cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestChaosAggressiveKills cranks the kill probabilities far above the
+// default mix: most KCs die mid-run. Every ULP must still be accounted
+// for (orphans included) and the digest must stay deterministic.
+func TestChaosAggressiveKills(t *testing.T) {
+	specs := []fault.Spec{
+		{Site: fault.SiteKCKill, Prob: 0.2, TaskPrefix: "kc.chaos"},
+		{Site: fault.SiteSchedKill, Prob: 0.05, TaskPrefix: "sched."},
+		{Site: fault.SiteFutexLostWake, Prob: 0.1},
+		{Site: fault.SiteSchedDelay, Prob: 0.1, DelayUS: 100},
+	}
+	sawOrphan := false
+	for seed := uint64(200); seed < 208; seed++ {
+		cfg := chaos.Config{Seed: seed, Idle: blt.Blocking, Specs: specs}
+		d1, err := chaos.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d2, err := chaos.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (rerun): %v", seed, err)
+		}
+		if !d1.Equal(d2) {
+			t.Fatalf("seed %d nondeterministic:\n  run1: %s\n  run2: %s", seed, d1, d2)
+		}
+		if d1.Orphans > 0 {
+			sawOrphan = true
+		}
+	}
+	if !sawOrphan {
+		t.Error("no seed produced an orphaned ULP; the kill path went unexercised")
+	}
+}
+
+// TestChaosFaultFreeBaseline: a chaos run with an empty spec list is a
+// plain deterministic workload — zero injections, zero orphans.
+func TestChaosFaultFreeBaseline(t *testing.T) {
+	cfg := chaos.Config{Seed: 42, Specs: []fault.Spec{}, Idle: blt.BusyWait}
+	d, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Injections != 0 || d.Orphans != 0 {
+		t.Errorf("fault-free run: injections=%d orphans=%d, want 0/0", d.Injections, d.Orphans)
+	}
+}

@@ -1,0 +1,431 @@
+// Package fault is the deterministic fault-injection plane for the
+// simulated ULP-PiP stack. It implements kernel.FaultPlane: a set of
+// Specs, each naming an injection site in the kernel/runtime and a firing
+// rule (probability, nth hit, or every-nth hit), driven by per-spec
+// SplitMix64 streams derived from one seed. The same (seed, specs) pair
+// therefore reproduces the exact same fault schedule in virtual time, no
+// matter how many other specs are active — which is what makes chaos
+// failures replayable from a single seed.
+//
+// Sites (see kernel.FaultPlane for the contract at each):
+//
+//	open, write, read, futex_wait   transient syscall errors (err=...)
+//	futex_spurious                  spurious futex wakeup (EAGAIN)
+//	futex_lost_wake                 futex wake silently dropped
+//	kc_kill                         idle original KC dies in trampoline
+//	sched_kill                      scheduler KC dies between dispatches
+//	aio_helper_kill                 AIO helper thread dies between requests
+//	sched_delay                     extra latency before a UC dispatch
+//	fs_slow                         file I/O cost multiplied by factor
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Sites lists every injection site the runtime consults, in stable order.
+var Sites = []string{
+	SiteOpen, SiteWrite, SiteRead, SiteFutexWait,
+	SiteFutexSpurious, SiteFutexLostWake,
+	SiteKCKill, SiteSchedKill, SiteAIOHelperKill,
+	SiteSchedDelay, SiteFSSlow,
+}
+
+// Site names.
+const (
+	SiteOpen          = "open"
+	SiteWrite         = "write"
+	SiteRead          = "read"
+	SiteFutexWait     = "futex_wait"
+	SiteFutexSpurious = "futex_spurious"
+	SiteFutexLostWake = "futex_lost_wake"
+	SiteKCKill        = "kc_kill"
+	SiteSchedKill     = "sched_kill"
+	SiteAIOHelperKill = "aio_helper_kill"
+	SiteSchedDelay    = "sched_delay"
+	SiteFSSlow        = "fs_slow"
+)
+
+// Spec is one fault rule: where it can fire, when it fires, and what it
+// injects. Exactly one of Prob / Nth / Every selects the firing rule
+// (Prob if none is set is 0, i.e. the spec never fires).
+type Spec struct {
+	// Site is the injection site name (one of Sites).
+	Site string
+	// TaskPrefix restricts the spec to tasks whose name starts with this
+	// prefix; empty matches every task. This is the isolation lever: a
+	// spec scoped to one tenant's tasks cannot perturb any other task's
+	// event schedule.
+	TaskPrefix string
+
+	// Prob fires with this probability per hit (0..1), drawn from the
+	// spec's private RNG stream.
+	Prob float64
+	// Nth fires on exactly the nth matching hit (1-based), once.
+	Nth uint64
+	// Every fires on every every-th matching hit.
+	Every uint64
+	// Count caps the total number of fires (0 = unlimited).
+	Count uint64
+
+	// Err selects the injected error for syscall sites: "eintr" (default),
+	// "eagain" or "enospc".
+	Err string
+	// DelayUS is the injected latency in microseconds (sched_delay).
+	DelayUS uint64
+	// Factor is the I/O cost multiplier (fs_slow); values <= 1 disable.
+	Factor float64
+}
+
+// String renders the spec in the -faults flag syntax (parseable back).
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Site)
+	sep := ":"
+	put := func(k, v string) {
+		b.WriteString(sep)
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+		sep = ","
+	}
+	if s.Prob > 0 {
+		put("prob", strconv.FormatFloat(s.Prob, 'g', -1, 64))
+	}
+	if s.Nth > 0 {
+		put("nth", strconv.FormatUint(s.Nth, 10))
+	}
+	if s.Every > 0 {
+		put("every", strconv.FormatUint(s.Every, 10))
+	}
+	if s.Count > 0 {
+		put("count", strconv.FormatUint(s.Count, 10))
+	}
+	if s.Err != "" {
+		put("err", s.Err)
+	}
+	if s.DelayUS > 0 {
+		put("delay_us", strconv.FormatUint(s.DelayUS, 10))
+	}
+	if s.Factor > 0 {
+		put("factor", strconv.FormatFloat(s.Factor, 'g', -1, 64))
+	}
+	if s.TaskPrefix != "" {
+		put("task", s.TaskPrefix)
+	}
+	return b.String()
+}
+
+// ParseSpecs parses the -faults flag syntax: semicolon-separated specs,
+// each "site:key=val,key=val,...". Example:
+//
+//	futex_lost_wake:prob=0.01;kc_kill:nth=3,task=kc.t2;fs_slow:factor=8
+func ParseSpecs(s string) ([]Spec, error) {
+	var specs []Spec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, opts, _ := strings.Cut(part, ":")
+		site = strings.TrimSpace(site)
+		if !validSite(site) {
+			return nil, fmt.Errorf("fault: unknown site %q (valid: %s)", site, strings.Join(Sites, " "))
+		}
+		sp := Spec{Site: site}
+		if opts != "" {
+			for _, kv := range strings.Split(opts, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: bad option %q in spec %q (want key=val)", kv, part)
+				}
+				if err := sp.setOption(key, val); err != nil {
+					return nil, fmt.Errorf("fault: spec %q: %w", part, err)
+				}
+			}
+		}
+		if err := sp.validate(); err != nil {
+			return nil, fmt.Errorf("fault: spec %q: %w", part, err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+func validSite(site string) bool {
+	for _, s := range Sites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Spec) setOption(key, val string) error {
+	switch key {
+	case "prob":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("prob must be in [0,1], got %q", val)
+		}
+		s.Prob = f
+	case "nth":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("nth must be a positive integer, got %q", val)
+		}
+		s.Nth = n
+	case "every":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("every must be a positive integer, got %q", val)
+		}
+		s.Every = n
+	case "count":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("count must be an integer, got %q", val)
+		}
+		s.Count = n
+	case "err":
+		switch val {
+		case "eintr", "eagain", "enospc":
+			s.Err = val
+		default:
+			return fmt.Errorf("err must be eintr, eagain or enospc, got %q", val)
+		}
+	case "delay_us":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("delay_us must be an integer, got %q", val)
+		}
+		s.DelayUS = n
+	case "factor":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 1 {
+			return fmt.Errorf("factor must be >= 1, got %q", val)
+		}
+		s.Factor = f
+	case "task":
+		s.TaskPrefix = val
+	default:
+		return fmt.Errorf("unknown option %q", key)
+	}
+	return nil
+}
+
+func (s *Spec) validate() error {
+	rules := 0
+	if s.Prob > 0 {
+		rules++
+	}
+	if s.Nth > 0 {
+		rules++
+	}
+	if s.Every > 0 {
+		rules++
+	}
+	if rules > 1 {
+		return errors.New("at most one of prob/nth/every")
+	}
+	if s.Site == SiteFSSlow {
+		if s.Factor < 1 {
+			return errors.New("fs_slow needs factor>=1")
+		}
+		// fs_slow is a standing condition, not a per-hit fire.
+		return nil
+	}
+	if rules == 0 {
+		return errors.New("needs one of prob/nth/every")
+	}
+	if s.Site == SiteSchedDelay && s.DelayUS == 0 {
+		return errors.New("sched_delay needs delay_us")
+	}
+	return nil
+}
+
+// injErr maps a spec's Err to the kernel error it injects.
+func (s *Spec) injErr() error {
+	switch s.Err {
+	case "eagain":
+		return kernel.ErrTryAgain
+	case "enospc":
+		return kernel.ErrNoSpace
+	default:
+		return kernel.ErrInterrupted
+	}
+}
+
+// armed is a spec plus its private RNG stream and counters.
+type armed struct {
+	Spec
+	rng   *sim.RNG
+	hits  uint64
+	fires uint64
+}
+
+// matches reports whether the spec applies to this task (site already
+// checked by the caller). A nil task (no current task at the site) only
+// matches unrestricted specs.
+func (a *armed) matches(t *kernel.Task) bool {
+	if a.TaskPrefix == "" {
+		return true
+	}
+	return t != nil && strings.HasPrefix(t.Name(), a.TaskPrefix)
+}
+
+// decide registers one hit and reports whether the spec fires on it. It
+// consumes randomness only from the spec's own stream, so adding or
+// removing other specs never shifts this spec's schedule.
+func (a *armed) decide() bool {
+	a.hits++
+	fire := false
+	switch {
+	case a.Nth > 0:
+		fire = a.hits == a.Nth
+	case a.Every > 0:
+		fire = a.hits%a.Every == 0
+	case a.Prob > 0:
+		fire = a.rng.Float64() < a.Prob
+	}
+	if fire && a.Count > 0 && a.fires >= a.Count {
+		fire = false
+	}
+	if fire {
+		a.fires++
+	}
+	return fire
+}
+
+// Plane is a deterministic kernel.FaultPlane built from a seed and specs.
+type Plane struct {
+	seed  uint64
+	specs []*armed
+}
+
+var _ kernel.FaultPlane = (*Plane)(nil)
+
+// NewPlane builds a plane. Spec i draws from stream splitmix(seed, i), so
+// per-spec schedules are independent and stable under spec reordering of
+// *other* sites.
+func NewPlane(seed uint64, specs []Spec) *Plane {
+	p := &Plane{seed: seed}
+	for i, s := range specs {
+		p.specs = append(p.specs, &armed{
+			Spec: s,
+			rng:  sim.NewRNG(mix(seed, uint64(i)+1)),
+		})
+	}
+	return p
+}
+
+// mix derives a sub-stream seed (SplitMix64 finalizer over seed+lane).
+func mix(seed, lane uint64) uint64 {
+	z := seed + lane*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seed returns the plane's seed.
+func (p *Plane) Seed() uint64 { return p.seed }
+
+// SyscallError implements kernel.FaultPlane.
+func (p *Plane) SyscallError(t *kernel.Task, site string) error {
+	for _, a := range p.specs {
+		if a.Site == site && a.matches(t) && a.decide() {
+			return a.injErr()
+		}
+	}
+	return nil
+}
+
+// FutexSpurious implements kernel.FaultPlane.
+func (p *Plane) FutexSpurious(t *kernel.Task, addr uint64) bool {
+	return p.boolSite(t, SiteFutexSpurious)
+}
+
+// FutexDropWake implements kernel.FaultPlane.
+func (p *Plane) FutexDropWake(waiter *kernel.Task, addr uint64) bool {
+	return p.boolSite(waiter, SiteFutexLostWake)
+}
+
+// TaskShouldDie implements kernel.FaultPlane.
+func (p *Plane) TaskShouldDie(t *kernel.Task, site string) bool {
+	return p.boolSite(t, site)
+}
+
+func (p *Plane) boolSite(t *kernel.Task, site string) bool {
+	fire := false
+	for _, a := range p.specs {
+		if a.Site == site && a.matches(t) && a.decide() {
+			fire = true
+			// Keep evaluating so every matching spec's stream advances
+			// the same way whether or not an earlier spec fired.
+		}
+	}
+	return fire
+}
+
+// ExtraDelay implements kernel.FaultPlane.
+func (p *Plane) ExtraDelay(t *kernel.Task, site string) sim.Duration {
+	var d sim.Duration
+	for _, a := range p.specs {
+		if a.Site == site && a.matches(t) && a.decide() {
+			d += sim.Duration(a.DelayUS) * sim.Microsecond
+		}
+	}
+	return d
+}
+
+// IOScale implements kernel.FaultPlane. fs_slow is a standing condition:
+// every matching spec's factor applies to every matching I/O.
+func (p *Plane) IOScale(t *kernel.Task, site string) float64 {
+	f := 1.0
+	for _, a := range p.specs {
+		if a.Site == site && a.Factor > 1 && a.matches(t) {
+			f *= a.Factor
+		}
+	}
+	return f
+}
+
+// Armed implements kernel.FaultPlane: true when some spec could ever fire
+// for (task, site). Consumes no randomness and registers no hit, so
+// recovery code may call it freely without perturbing schedules.
+func (p *Plane) Armed(t *kernel.Task, site string) bool {
+	for _, a := range p.specs {
+		if a.Site == site && a.matches(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Injections reports the total number of fires across all specs (part of
+// the chaos determinism digest).
+func (p *Plane) Injections() uint64 {
+	var n uint64
+	for _, a := range p.specs {
+		n += a.fires
+	}
+	return n
+}
+
+// Stats returns one line per spec: "<spec> hits=H fires=F", sorted by
+// site then spec text for stable output.
+func (p *Plane) Stats() []string {
+	out := make([]string, 0, len(p.specs))
+	for _, a := range p.specs {
+		out = append(out, fmt.Sprintf("%s hits=%d fires=%d", a.Spec.String(), a.hits, a.fires))
+	}
+	sort.Strings(out)
+	return out
+}

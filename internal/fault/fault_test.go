@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("futex_lost_wake:prob=0.25;kc_kill:nth=3,task=kc.t2;fs_slow:factor=8;sched_delay:every=2,delay_us=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs, want 4", len(specs))
+	}
+	if specs[0].Site != SiteFutexLostWake || specs[0].Prob != 0.25 {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Nth != 3 || specs[1].TaskPrefix != "kc.t2" {
+		t.Errorf("spec 1 = %+v", specs[1])
+	}
+	if specs[2].Factor != 8 {
+		t.Errorf("spec 2 = %+v", specs[2])
+	}
+	if specs[3].Every != 2 || specs[3].DelayUS != 50 {
+		t.Errorf("spec 3 = %+v", specs[3])
+	}
+	// Round-trip through String.
+	var parts []string
+	for _, s := range specs {
+		parts = append(parts, s.String())
+	}
+	again, err := ParseSpecs(strings.Join(parts, ";"))
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", strings.Join(parts, ";"), err)
+	}
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Errorf("round-trip spec %d: %+v != %+v", i, specs[i], again[i])
+		}
+	}
+}
+
+func TestParseSpecsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nosuchsite:prob=0.5",
+		"open",                    // no firing rule
+		"open:prob=2",             // prob out of range
+		"open:prob=0.5,nth=2",     // two rules
+		"open:frobnicate=1",       // unknown key
+		"sched_delay:prob=0.5",    // missing delay_us
+		"fs_slow:factor=0.5",      // factor < 1
+		"open:nth=0",              // nth must be positive
+		"futex_lost_wake:prob",    // not key=val
+		"open:err=ebadf,prob=0.5", // unknown errno
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) succeeded, want error", bad)
+		}
+	}
+	// Empty string is valid: no specs.
+	specs, err := ParseSpecs("")
+	if err != nil || len(specs) != 0 {
+		t.Errorf("ParseSpecs(\"\") = %v, %v", specs, err)
+	}
+}
+
+func TestNthAndEveryAndCount(t *testing.T) {
+	p := NewPlane(1, []Spec{
+		{Site: SiteOpen, Nth: 3, Err: "enospc"},
+		{Site: SiteWrite, Every: 2, Count: 2, Err: "eagain"},
+	})
+	var openErrs, writeErrs []error
+	for i := 0; i < 6; i++ {
+		openErrs = append(openErrs, p.SyscallError(nil, SiteOpen))
+		writeErrs = append(writeErrs, p.SyscallError(nil, SiteWrite))
+	}
+	for i, err := range openErrs {
+		want := error(nil)
+		if i == 2 { // third hit
+			want = kernel.ErrNoSpace
+		}
+		if !errors.Is(err, want) || (want == nil && err != nil) {
+			t.Errorf("open hit %d: err=%v want %v", i+1, err, want)
+		}
+	}
+	// every=2, count=2: fires on hits 2 and 4 only.
+	for i, err := range writeErrs {
+		want := error(nil)
+		if i == 1 || i == 3 {
+			want = kernel.ErrTryAgain
+		}
+		if (want == nil) != (err == nil) || (want != nil && !errors.Is(err, want)) {
+			t.Errorf("write hit %d: err=%v want %v", i+1, err, want)
+		}
+	}
+	if p.Injections() != 3 {
+		t.Errorf("Injections() = %d, want 3", p.Injections())
+	}
+}
+
+func TestProbDeterminismAndIndependence(t *testing.T) {
+	run := func(extra bool) []bool {
+		specs := []Spec{{Site: SiteFutexLostWake, Prob: 0.5}}
+		if extra {
+			// A second spec at a different site must not shift the first
+			// spec's schedule: streams are per-spec.
+			specs = append(specs, Spec{Site: SiteOpen, Prob: 0.9})
+		}
+		p := NewPlane(42, specs)
+		var fires []bool
+		for i := 0; i < 64; i++ {
+			if extra && i%3 == 0 {
+				p.SyscallError(nil, SiteOpen)
+			}
+			fires = append(fires, p.FutexDropWake(nil, 0))
+		}
+		return fires
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: schedule shifted by unrelated spec (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	// And the same seed reproduces exactly.
+	c := run(false)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("hit %d: same seed diverged", i)
+		}
+	}
+	// A different seed gives a different schedule (overwhelmingly likely
+	// over 64 draws at p=0.5).
+	p2 := NewPlane(43, []Spec{{Site: SiteFutexLostWake, Prob: 0.5}})
+	diff := false
+	for i := 0; i < 64; i++ {
+		if p2.FutexDropWake(nil, 0) != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 produced identical 64-draw schedules")
+	}
+}
+
+func TestArmedConsumesNoRandomness(t *testing.T) {
+	p := NewPlane(7, []Spec{{Site: SiteFutexLostWake, Prob: 0.5}})
+	q := NewPlane(7, []Spec{{Site: SiteFutexLostWake, Prob: 0.5}})
+	for i := 0; i < 32; i++ {
+		// Interleave Armed probes on p only; schedules must stay equal.
+		p.Armed(nil, SiteFutexLostWake)
+		p.Armed(nil, SiteKCKill)
+		if p.FutexDropWake(nil, 0) != q.FutexDropWake(nil, 0) {
+			t.Fatalf("hit %d: Armed() perturbed the schedule", i)
+		}
+	}
+	if !p.Armed(nil, SiteFutexLostWake) {
+		t.Error("Armed() = false for configured site")
+	}
+	if p.Armed(nil, SiteKCKill) {
+		t.Error("Armed() = true for unconfigured site")
+	}
+}
+
+func TestIOScale(t *testing.T) {
+	p := NewPlane(1, []Spec{{Site: SiteFSSlow, Factor: 4}})
+	if f := p.IOScale(nil, SiteFSSlow); f != 4 {
+		t.Errorf("IOScale = %v, want 4", f)
+	}
+	if f := p.IOScale(nil, SiteSchedDelay); f != 1 {
+		t.Errorf("IOScale(other site) = %v, want 1", f)
+	}
+}
+
+func TestExtraDelay(t *testing.T) {
+	p := NewPlane(1, []Spec{{Site: SiteSchedDelay, Every: 2, DelayUS: 50}})
+	d1 := p.ExtraDelay(nil, SiteSchedDelay)
+	d2 := p.ExtraDelay(nil, SiteSchedDelay)
+	if d1 != 0 {
+		t.Errorf("first hit delay = %v, want 0", d1)
+	}
+	if want := 50 * 1000 * 1000; int64(d2) != int64(want) { // 50us in ps
+		t.Errorf("second hit delay = %v ps, want %d ps", int64(d2), want)
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Errors injectable by a fault plane (and returned by the timed futex
+// wait). They model the transient errno values a real kernel hands back
+// under adversity; runtime layers are expected to retry or degrade, never
+// to panic.
+var (
+	// ErrTryAgain is EAGAIN: the resource is temporarily unavailable.
+	ErrTryAgain = errors.New("kernel: resource temporarily unavailable (EAGAIN)")
+	// ErrNoSpace is ENOSPC: the injected "device" ran out of space. It is
+	// not transient — retrying does not help.
+	ErrNoSpace = errors.New("kernel: no space left on device (ENOSPC)")
+	// ErrTimedOut is ETIMEDOUT from FutexWaitTimeout.
+	ErrTimedOut = errors.New("kernel: futex wait timed out (ETIMEDOUT)")
+)
+
+// FaultPlane is the kernel's fault-injection hook, implemented by
+// internal/fault. Every method is consulted from a deterministic point in
+// virtual time, so a plane driven by a seeded RNG reproduces the same
+// fault schedule for the same (seed, spec) pair. A nil plane (the
+// default) costs one pointer comparison per site and changes nothing.
+//
+// Site names used by the runtime stack (kept as plain strings so lower
+// layers need not import internal/fault):
+//
+//	"open", "write", "read", "futex_wait"  — transient syscall errors
+//	"futex_spurious"  — a futex wait returns EAGAIN without sleeping
+//	"futex_lost_wake" — a futex wake is dropped (waiter stays blocked)
+//	"kc_kill"         — an idle original KC dies in its trampoline
+//	"sched_kill"      — a scheduler KC dies between dispatches
+//	"aio_helper_kill" — the AIO helper thread dies between requests
+//	"sched_delay"     — extra scheduler latency before a UC dispatch
+//	"fs_slow"         — file I/O bandwidth degradation factor
+type FaultPlane interface {
+	// SyscallError, when non-nil, makes the system-call at the named site
+	// fail with that error (ErrInterrupted, ErrTryAgain or ErrNoSpace)
+	// before performing any work.
+	SyscallError(t *Task, site string) error
+	// FutexSpurious reports whether this futex wait should return
+	// ErrFutexAgain spuriously instead of blocking.
+	FutexSpurious(t *Task, addr uint64) bool
+	// FutexDropWake reports whether the wakeup destined for waiter should
+	// be lost (the waiter stays blocked; the waker believes it woke one).
+	FutexDropWake(waiter *Task, addr uint64) bool
+	// TaskShouldDie reports whether the task visiting the named site
+	// should terminate now (KC, scheduler or helper death).
+	TaskShouldDie(t *Task, site string) bool
+	// ExtraDelay returns additional latency to impose at the named site
+	// (0 = none).
+	ExtraDelay(t *Task, site string) sim.Duration
+	// IOScale returns a multiplicative factor for I/O costs at the named
+	// site (1 = undisturbed).
+	IOScale(t *Task, site string) float64
+	// Armed reports whether any spec could ever fire for (task, site) —
+	// without consuming randomness. Recovery paths use it to decide
+	// whether to arm timed waits; unarmed tasks keep the exact fault-free
+	// event schedule.
+	Armed(t *Task, site string) bool
+}
+
+// SetFaultPlane installs a fault-injection plane (nil clears it). Must be
+// set before the simulation runs for deterministic schedules.
+func (k *Kernel) SetFaultPlane(fp FaultPlane) { k.faults = fp }
+
+// Faults returns the installed fault plane, or nil.
+func (k *Kernel) Faults() FaultPlane { return k.faults }
+
+// faultSyscall consults the plane at a syscall site; nil when no plane is
+// installed or the site does not fire.
+func (k *Kernel) faultSyscall(t *Task, site string) error {
+	if k.faults == nil {
+		return nil
+	}
+	return k.faults.SyscallError(t, site)
+}
+
+// faultIOScale folds the fs-degradation factor into an I/O cost.
+func (k *Kernel) faultIOScale(t *Task, cost sim.Duration) sim.Duration {
+	if k.faults == nil {
+		return cost
+	}
+	if f := k.faults.IOScale(t, "fs_slow"); f > 1 {
+		return sim.Duration(float64(cost) * f)
+	}
+	return cost
+}

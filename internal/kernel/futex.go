@@ -36,9 +36,24 @@ func (ft *futexTable) queue(k futexKey) *WaitQueue {
 // the caller's address space still holds expected, block until woken;
 // otherwise return ErrFutexAgain immediately.
 func (t *Task) FutexWait(addr uint64, expected uint64) error {
+	return t.futexWait(addr, expected, 0)
+}
+
+// FutexWaitTimeout is FutexWait with a relative timeout: if no wake (or
+// signal) arrives within d of virtual time, the wait fails with
+// ErrTimedOut. Recovery paths use it to survive lost wakeups; d <= 0
+// means wait forever.
+func (t *Task) FutexWaitTimeout(addr uint64, expected uint64, d sim.Duration) error {
+	return t.futexWait(addr, expected, d)
+}
+
+func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) error {
 	k := t.kernel
 	k.countSyscall(t, "futex_wait")
 	t.Charge(k.machine.Costs.FutexWaitCall)
+	if err := k.faultSyscall(t, "futex_wait"); err != nil {
+		return err
+	}
 	val, err := t.space.ReadU64(addr, taskCharger{t})
 	if err != nil {
 		return err
@@ -46,9 +61,30 @@ func (t *Task) FutexWait(addr uint64, expected uint64) error {
 	if val != expected {
 		return ErrFutexAgain
 	}
+	if k.faults != nil && k.faults.FutexSpurious(t, addr) {
+		// A spurious wakeup: the caller observes EAGAIN without having
+		// slept, as if the word had changed and changed back.
+		return ErrFutexAgain
+	}
 	key := futexKey{t.space.ID, addr}
-	if reason := k.block(t, k.futexes.queue(key)); reason == WakeInterrupted {
+	q := k.futexes.queue(key)
+	t.waitSeq++
+	if timeout > 0 {
+		seq := t.waitSeq
+		k.engine.After(timeout, func() {
+			// Fire only if the task is still in this very sleep.
+			if t.waitSeq == seq && t.state == TaskBlocked && t.blockedOn == q {
+				q.remove(t)
+				t.wakeReason = WakeTimeout
+				k.makeRunnable(t, k.machine.Costs.KernelSwitch)
+			}
+		})
+	}
+	switch k.block(t, q) {
+	case WakeInterrupted:
 		return ErrInterrupted
+	case WakeTimeout:
+		return ErrTimedOut
 	}
 	return nil
 }
@@ -63,7 +99,17 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	key := futexKey{t.space.ID, addr}
 	q := k.futexes.queue(key)
 	woken := 0
-	for woken < n && k.WakeOne(q, k.machine.Costs.FutexWakeLatency) != nil {
+	for woken < n {
+		if k.faults != nil && len(q.tasks) > 0 && k.faults.FutexDropWake(q.tasks[0], addr) {
+			// Lost wakeup: silently drop the wake destined for the oldest
+			// waiter. The waker proceeds believing it woke someone; the
+			// waiter stays asleep until a retry, timeout or later wake.
+			woken++
+			continue
+		}
+		if k.WakeOne(q, k.machine.Costs.FutexWakeLatency) == nil {
+			break
+		}
 		woken++
 	}
 	return woken

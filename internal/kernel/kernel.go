@@ -50,6 +50,9 @@ type Kernel struct {
 	// task; the ULP layer uses it to verify system-call consistency.
 	auditor func(t *Task, name string)
 
+	// faults, when set, is the fault-injection plane (see fault.go).
+	faults FaultPlane
+
 	// timeline, when set, receives one record per contiguous span a
 	// task occupies a core (see SetTimeline).
 	timeline TimelineRecorder

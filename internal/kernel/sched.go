@@ -44,6 +44,7 @@ type WakeReason int
 const (
 	WakeNormal WakeReason = iota
 	WakeInterrupted
+	WakeTimeout
 )
 
 // makeRunnable transitions a New or Blocked task to Ready/Running: it is

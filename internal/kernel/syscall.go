@@ -58,6 +58,10 @@ func (t *Task) LoadTLS(val uint64) {
 func (t *Task) Open(path string, flags fs.OpenFlags) (int, error) {
 	k := t.kernel
 	k.countSyscall(t, "open")
+	if err := k.faultSyscall(t, "open"); err != nil {
+		t.Charge(k.machine.Costs.SyscallEntry)
+		return -1, err
+	}
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.OpenCost)
 	f, err := k.fs.Open(path, flags)
 	if err != nil {
@@ -73,7 +77,11 @@ func (t *Task) Open(path string, flags fs.OpenFlags) (int, error) {
 func (t *Task) Write(fd int, data []byte, remote bool) (int, error) {
 	k := t.kernel
 	k.countSyscall(t, "write")
-	t.Charge(k.machine.WriteCost(len(data), remote))
+	if err := k.faultSyscall(t, "write"); err != nil {
+		t.Charge(k.machine.Costs.SyscallEntry)
+		return 0, err
+	}
+	t.Charge(k.faultIOScale(t, k.machine.WriteCost(len(data), remote)))
 	f, err := t.fdt.Get(fd)
 	if err != nil {
 		return 0, err
@@ -86,13 +94,17 @@ func (t *Task) Read(fd int, buf []byte) (int, error) {
 	k := t.kernel
 	k.countSyscall(t, "read")
 	c := k.machine.Costs
+	if err := k.faultSyscall(t, "read"); err != nil {
+		t.Charge(c.SyscallEntry)
+		return 0, err
+	}
 	f, err := t.fdt.Get(fd)
 	if err != nil {
 		t.Charge(c.SyscallEntry + c.ReadBase)
 		return 0, err
 	}
 	n, err := f.Read(buf)
-	t.Charge(c.SyscallEntry + c.ReadBase + fromBytes(c.WriteBytePS, n))
+	t.Charge(c.SyscallEntry + c.ReadBase + k.faultIOScale(t, fromBytes(c.WriteBytePS, n)))
 	return n, err
 }
 

@@ -102,6 +102,9 @@ type Task struct {
 	// allows signal delivery to interrupt sleeps.
 	blockedOn  *WaitQueue
 	wakeReason WakeReason
+	// waitSeq increments on every blocking wait; a timed wait's timer
+	// captures it so a stale timer cannot wake a later, unrelated sleep.
+	waitSeq uint64
 
 	// Stats.
 	cpuTime      sim.Duration

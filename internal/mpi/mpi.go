@@ -147,7 +147,7 @@ func Run(k *kernel.Kernel, cfg Config, size int, program Program) (*World, []int
 	}
 	var statuses []int
 	var runErr error
-	core.Boot(k, core.Config{
+	_, bootErr := core.Boot(k, core.Config{
 		ProgCores:    cfg.ProgCores,
 		SyscallCores: cfg.SyscallCores,
 		Idle:         cfg.Idle,
@@ -174,6 +174,9 @@ func Run(k *kernel.Kernel, cfg Config, size int, program Program) (*World, []int
 		rt.Shutdown()
 		return 0
 	})
+	if bootErr != nil {
+		return w, nil, bootErr
+	}
 	if err := k.Engine().Run(); err != nil {
 		return w, nil, err
 	}

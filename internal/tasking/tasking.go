@@ -181,8 +181,10 @@ type TaskCtx struct {
 func (tc *TaskCtx) Compute(d sim.Duration) { tc.b.Carrier().Compute(d) }
 
 // Exec runs fn coupled to the worker's original kernel context — the
-// bracket for blocking system-calls inside a task.
-func (tc *TaskCtx) Exec(fn func(kc *kernel.Task)) { tc.b.Exec(fn) }
+// bracket for blocking system-calls inside a task. The error is non-nil
+// when the worker's original KC is gone (fault injection): the function
+// did not run and the task should treat the syscall as failed.
+func (tc *TaskCtx) Exec(fn func(kc *kernel.Task)) error { return tc.b.Exec(fn) }
 
 // Yield cooperatively yields the worker's core.
 func (tc *TaskCtx) Yield() { tc.b.Yield() }

@@ -1,14 +1,20 @@
 package ulppip_test
 
-// Whole-stack soak: one simulated machine hosting three independent
+// Whole-stack soak: one simulated machine hosting four independent
 // tenants at once on disjoint core partitions —
 //
 //   - an MPI world (4 ranks over ULPs) on cores 0-3,
 //   - a ULP-PiP I/O workload on cores 4-7,
 //   - plain kernel processes doing pipe IPC on cores 8-9,
+//   - a second ULP-PiP workload on cores 10-13 that optionally runs
+//     under a task-scoped fault plane (the blast-radius tenant),
 //
 // all sharing the one kernel, physical memory and tmpfs. Everything must
-// complete, stay consistent, and be deterministic.
+// complete, stay consistent, and be deterministic — and when the fault
+// plane is armed against tenant 4 only, the other three tenants'
+// transcripts (statuses, file bytes, pipe bytes, completion times) must
+// be byte-identical to the fault-free run: task-scoped specs have no
+// blast radius outside their tenant.
 
 import (
 	"fmt"
@@ -17,31 +23,73 @@ import (
 	ulppip "repro"
 )
 
+// soakResult captures everything observable about one soak run.
+type soakResult struct {
+	tenants    string // tenants 1-3 transcript (must not see tenant-4 faults)
+	tenant4    string // tenant 4 transcript (may differ under faults)
+	injections uint64
+	end        ulppip.Time
+}
+
 func TestMultiTenantSoak(t *testing.T) {
-	end1 := runMultiTenant(t)
-	end2 := runMultiTenant(t)
-	if end1 != end2 {
-		t.Errorf("soak nondeterministic: %v vs %v", end1, end2)
+	r1 := runMultiTenant(t, nil)
+	r2 := runMultiTenant(t, nil)
+	if r1 != r2 {
+		t.Errorf("soak nondeterministic:\n  run1: %+v\n  run2: %+v", r1, r2)
 	}
 }
 
-func runMultiTenant(t *testing.T) ulppip.Time {
+// TestSoakFaultIsolation injects faults scoped to tenant 4's tasks only
+// (its KCs by name prefix, its schedulers by core) and asserts the other
+// three tenants' transcripts are byte-identical to the fault-free run.
+func TestSoakFaultIsolation(t *testing.T) {
+	base := runMultiTenant(t, nil)
+	faulted := runMultiTenant(t, []ulppip.FaultSpec{
+		{Site: ulppip.FaultWrite, Every: 2, Err: "eintr", TaskPrefix: "kc.t4"},
+		{Site: ulppip.FaultOpen, Nth: 2, Err: "eagain", TaskPrefix: "kc.t4"},
+		{Site: ulppip.FaultFutexLostWake, Prob: 0.4, TaskPrefix: "kc.t4"},
+		{Site: ulppip.FaultSchedDelay, Every: 3, DelayUS: 25, TaskPrefix: "sched.c10"},
+		{Site: ulppip.FaultSchedDelay, Every: 4, DelayUS: 25, TaskPrefix: "sched.c11"},
+	})
+	if faulted.injections == 0 {
+		t.Fatal("no faults fired; the isolation claim went unexercised")
+	}
+	if base.tenants != faulted.tenants {
+		t.Errorf("tenant-4 faults leaked into tenants 1-3:\n  fault-free: %s\n  faulted:    %s",
+			base.tenants, faulted.tenants)
+	}
+	if base.tenant4 == faulted.tenant4 {
+		t.Error("tenant 4 transcript unchanged under faults; injection had no effect")
+	}
+}
+
+func runMultiTenant(t *testing.T, specs []ulppip.FaultSpec) soakResult {
 	t.Helper()
 	s := ulppip.NewSim(ulppip.Wallaby())
 	k := s.Kernel
+	var plane *ulppip.FaultPlane
+	if specs != nil {
+		plane = ulppip.NewFaultPlane(11, specs)
+		k.SetFaultPlane(plane)
+	}
 
-	// MPIRun drives engine.Run itself, so it must start last: tenants 2
-	// and 3 only enqueue work here, then the MPI tenant's Run call
+	// MPIRun drives engine.Run itself, so it must start last: the other
+	// tenants only enqueue work here, then the MPI tenant's Run call
 	// drives the whole machine.
 	mpiDone := false
 
 	// Tenant 2: ULP-PiP workload on cores 4-7.
-	ulpDone := false
+	var t2Files string
+	var t2End ulppip.Time
 	prog := &ulppip.Image{
 		Name: "tenant2", PIE: true, TextSize: 4096,
 		Symbols: []ulppip.Symbol{{Name: "x", Size: 8}},
 		Main: func(envI interface{}) int {
 			env := envI.(*ulppip.Env)
+			buf := make([]byte, 2048)
+			for j := range buf {
+				buf[j] = byte(env.U.Rank*7 + j)
+			}
 			env.Decouple()
 			for i := 0; i < 4; i++ {
 				env.Exec(func(kc *ulppip.Task) {
@@ -49,7 +97,7 @@ func runMultiTenant(t *testing.T) ulppip.Time {
 					if err != nil {
 						panic(err)
 					}
-					kc.Write(fd, make([]byte, 2048), true)
+					kc.Write(fd, buf, true)
 					kc.Close(fd)
 				})
 				env.Yield()
@@ -58,7 +106,7 @@ func runMultiTenant(t *testing.T) ulppip.Time {
 			return 0
 		},
 	}
-	ulppip.Boot(k, ulppip.Config{
+	if _, err := ulppip.Boot(k, ulppip.Config{
 		ProgCores:    []int{4, 5},
 		SyscallCores: []int{6, 7},
 		Idle:         ulppip.IdleBlocking,
@@ -76,44 +124,130 @@ func runMultiTenant(t *testing.T) ulppip.Time {
 		if n := len(rt.Violations()); n != 0 {
 			t.Errorf("tenant2 violations: %d", n)
 		}
+		// Read every file back: tenant 2's observable output bytes.
+		root := rt.RootTask()
+		data := make([]byte, 2048)
+		for i := 0; i < 6; i++ {
+			fd, err := root.Open(fmt.Sprintf("/t2.%d", i), ulppip.ORdOnly)
+			if err != nil {
+				t.Errorf("tenant2 readback %d: %v", i, err)
+				continue
+			}
+			n, _ := root.Read(fd, data)
+			root.Close(fd)
+			t2Files += fmt.Sprintf("/t2.%d:%x;", i, data[:n])
+		}
+		t2End = s.Now()
 		rt.Shutdown()
-		ulpDone = true
 		return 0
-	})
+	}); err != nil {
+		t.Errorf("tenant2 boot: %v", err)
+	}
 
 	// Tenant 3: plain processes with pipe IPC pinned to cores 8-9.
-	pipeDone := false
+	var pipeHash uint64
+	pipeTotal := 0
+	var pipeEnd ulppip.Time
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
 	space := k.NewAddressSpace()
-	var pr *ulppip.Task
 	producer := k.NewTask("pipe-writer", space, func(task *ulppip.Task) int {
 		r, w := task.NewPipe()
 		reader := k.NewTask("pipe-reader", space, func(rt *ulppip.Task) int {
 			buf := make([]byte, 8192)
-			total := 0
 			for {
 				n, err := r.Read(rt, buf)
 				if err != nil || n == 0 {
 					break
 				}
-				total += n
+				for _, b := range buf[:n] {
+					pipeHash = pipeHash*1099511628211 ^ uint64(b)
+				}
+				pipeTotal += n
 			}
-			if total != 64*1024 {
-				t.Errorf("pipe moved %d bytes", total)
+			if pipeTotal != 64*1024 {
+				t.Errorf("pipe moved %d bytes", pipeTotal)
 			}
-			pipeDone = true
+			pipeEnd = s.Now()
 			return 0
 		})
 		reader.SetAffinity(9)
 		k.Start(reader, 0)
-		w.Write(task, make([]byte, 64*1024))
+		w.Write(task, payload)
 		w.Close(task)
 		return 0
 	})
-	pr = producer
-	pr.SetAffinity(8)
-	k.Start(pr, 0)
+	producer.SetAffinity(8)
+	k.Start(producer, 0)
+
+	// Tenant 4: the blast-radius tenant on cores 10-13. Its ULPs are
+	// named t4.* (so their KCs are kc.t4.*) and its schedulers sit on
+	// cores 10-11 (sched.c10/sched.c11) — the names the fault specs
+	// scope to. It uses the retrying Env wrappers, so injected EINTR and
+	// EAGAIN are absorbed; its own transcript may shift under faults, the
+	// other tenants' must not.
+	var t4Statuses []int
+	var t4End ulppip.Time
+	prog4 := &ulppip.Image{
+		Name: "tenant4", PIE: true, TextSize: 4096,
+		Symbols: []ulppip.Symbol{{Name: "x", Size: 8}},
+		Main: func(envI interface{}) int {
+			env := envI.(*ulppip.Env)
+			buf := make([]byte, 1024)
+			for j := range buf {
+				buf[j] = byte(env.U.Rank + j)
+			}
+			env.Decouple()
+			for i := 0; i < 4; i++ {
+				fd, err := env.Open(fmt.Sprintf("/t4.%d", env.U.Rank), ulppip.OCreate|ulppip.OWrOnly|ulppip.OTrunc)
+				if err != nil {
+					return 1
+				}
+				if _, err := env.Write(fd, buf); err != nil {
+					return 2
+				}
+				if err := env.Close(fd); err != nil {
+					return 3
+				}
+				env.Yield()
+			}
+			env.Couple()
+			return 0
+		},
+	}
+	if _, err := ulppip.Boot(k, ulppip.Config{
+		ProgCores:    []int{10, 11},
+		SyscallCores: []int{12, 13},
+		Idle:         ulppip.IdleBlocking,
+		Audit:        true,
+	}, func(rt *ulppip.Runtime) int {
+		for i := 0; i < 4; i++ {
+			if _, err := rt.Spawn(prog4, ulppip.ULPSpawnOpts{
+				Name: fmt.Sprintf("t4.%d", i), Scheduler: -1,
+			}); err != nil {
+				t.Errorf("tenant4 spawn: %v", err)
+				return 1
+			}
+		}
+		var err error
+		t4Statuses, err = rt.WaitAll()
+		if err != nil {
+			t.Errorf("tenant4 wait: %v", err)
+		}
+		if n := len(rt.Violations()); n != 0 {
+			t.Errorf("tenant4 violations: %d", n)
+		}
+		t4End = s.Now()
+		rt.Shutdown()
+		return 0
+	}); err != nil {
+		t.Errorf("tenant4 boot: %v", err)
+	}
 
 	// Tenant 1 last: MPIRun drives the engine for everyone.
+	var mpiEnd ulppip.Time
 	_, statuses, err2 := ulppip.MPIRun(k, ulppip.MPIConfig{
 		ProgCores:    []int{0, 1},
 		SyscallCores: []int{2, 3},
@@ -134,6 +268,7 @@ func runMultiTenant(t *testing.T) ulppip.Time {
 			}
 		}
 		mpiDone = true
+		mpiEnd = s.Now()
 		return 0
 	})
 	if err2 != nil {
@@ -144,13 +279,28 @@ func runMultiTenant(t *testing.T) ulppip.Time {
 			t.Errorf("rank %d status %d", i, st)
 		}
 	}
-	if !mpiDone || !ulpDone || !pipeDone {
-		t.Errorf("tenants done: mpi=%v ulp=%v pipe=%v", mpiDone, ulpDone, pipeDone)
+	for i, st := range t4Statuses {
+		if st != 0 {
+			t.Errorf("tenant4 ulp %d status %d", i, st)
+		}
 	}
-	// Shared tmpfs saw tenant 2's files.
+	if !mpiDone || t2End == 0 || pipeEnd == 0 || t4End == 0 {
+		t.Errorf("tenants done: mpi=%v t2=%v pipe=%v t4=%v", mpiDone, t2End, pipeEnd, t4End)
+	}
+	// Shared tmpfs saw tenant 2's and tenant 4's files.
 	files := k.FS().List()
-	if len(files) != 6 {
+	if len(files) != 10 {
 		t.Errorf("files = %v", files)
 	}
-	return s.Now()
+
+	res := soakResult{
+		tenants: fmt.Sprintf("mpi=%v end=%v | t2=%s end=%v | pipe=%d:%x end=%v",
+			statuses, mpiEnd, t2Files, t2End, pipeTotal, pipeHash, pipeEnd),
+		tenant4: fmt.Sprintf("statuses=%v end=%v", t4Statuses, t4End),
+		end:     s.Now(),
+	}
+	if plane != nil {
+		res.injections = plane.Injections()
+	}
+	return res
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/blt"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
@@ -245,6 +246,37 @@ var NewAIO = aio.New
 // AIOInProgress is the EINPROGRESS sentinel returned by AIORequest.Return
 // before the operation completes.
 var AIOInProgress = aio.ErrInProgress
+
+// Deterministic fault injection (install with Kernel.SetFaultPlane; see
+// DESIGN.md §6).
+type (
+	// FaultSpec is one fault-injection rule: a site, a firing rule and
+	// an optional task-name scope.
+	FaultSpec = fault.Spec
+	// FaultPlane is a seeded deterministic set of fault specs.
+	FaultPlane = fault.Plane
+)
+
+// NewFaultPlane builds a fault plane from a seed and specs.
+var NewFaultPlane = fault.NewPlane
+
+// ParseFaultSpecs parses the ulpsim -faults flag syntax.
+var ParseFaultSpecs = fault.ParseSpecs
+
+// Fault-injection sites.
+const (
+	FaultOpen          = fault.SiteOpen
+	FaultWrite         = fault.SiteWrite
+	FaultRead          = fault.SiteRead
+	FaultFutexWait     = fault.SiteFutexWait
+	FaultFutexSpurious = fault.SiteFutexSpurious
+	FaultFutexLostWake = fault.SiteFutexLostWake
+	FaultKCKill        = fault.SiteKCKill
+	FaultSchedKill     = fault.SiteSchedKill
+	FaultAIOHelperKill = fault.SiteAIOHelperKill
+	FaultSchedDelay    = fault.SiteSchedDelay
+	FaultFSSlow        = fault.SiteFSSlow
+)
 
 // Sim bundles an engine with a kernel for one machine — the usual entry
 // point.
