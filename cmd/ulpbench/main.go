@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 const jsonPath = "BENCH_ulpbench.json"
@@ -38,10 +39,15 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiment sweeps (1 = serial)")
 	csvPrefix := flag.String("csv", "", "also write figure data as <prefix>-<fig>-<machine>.csv")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to "+jsonPath)
+	metricsJSON := flag.Bool("metrics-json", false, "aggregate kernel metrics over every run into the JSON report (implies -json)")
 	reportPath := flag.String("report", "", "write a full markdown report to this file (runs everything)")
 	flag.Parse()
 	bench.Runs = *runs
 	bench.Parallelism = *parallel
+	if *metricsJSON {
+		*jsonOut = true
+		bench.Metrics = metrics.NewRegistry()
+	}
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
 		if err != nil {
@@ -66,6 +72,11 @@ func main() {
 		os.Exit(1)
 	}
 	if recs != nil {
+		if bench.Metrics != nil {
+			for _, s := range bench.Metrics.Snapshot() {
+				*recs = append(*recs, bench.Record{Experiment: "metrics", Series: s.Name, Ns: s.Value})
+			}
+		}
 		if err := bench.WriteRecordsJSON(jsonPath, *recs); err != nil {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
 			os.Exit(1)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
@@ -46,6 +47,8 @@ func main() {
 		signals      = flag.String("signals", "fcontext", "context switch style: fcontext or ucontext")
 		tracePath    = flag.String("trace", "", "write the event trace to this file")
 		traceCap     = flag.Int("trace-cap", 4096, "max retained trace events")
+		traceFormat  = flag.String("trace-format", "text", "trace file format: text or chrome (Perfetto-loadable JSON)")
+		showMetrics  = flag.Bool("metrics", false, "print the deterministic metrics dump after the run")
 		workSteal    = flag.Bool("workstealing", false, "idle schedulers steal ready UCs from peers")
 		showTimeline = flag.Bool("timeline", false, "print per-core utilization and an ASCII Gantt chart")
 		preemptUS    = flag.Float64("preempt-us", 0, "Shinjuku-style ULT preemption quantum [us], 0 = off")
@@ -55,12 +58,16 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	if *chaosMode {
-		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults)
+	if *traceFormat != "text" && *traceFormat != "chrome" {
+		err = fmt.Errorf("unknown trace format %q (want text or chrome)", *traceFormat)
+	} else if *chaosMode {
+		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults,
+			*tracePath, *traceCap, *traceFormat, *showMetrics)
 	} else {
 		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
 			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
-			*workSteal, *preemptUS, *showTimeline, *seed, *faults)
+			*traceFormat, *showMetrics, *workSteal, *preemptUS, *showTimeline,
+			*seed, *faults)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ulpsim:", err)
@@ -68,9 +75,44 @@ func main() {
 	}
 }
 
+// writeTrace renders the tracer to path in the selected format and
+// prints the retained/dropped summary. The dropped line only appears
+// when the bounded ring actually evicted events.
+func writeTrace(tracer *sim.Tracer, path, format, process string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "chrome" {
+		err = tracer.DumpChrome(f, process)
+	} else {
+		err = tracer.Dump(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace          %d events retained (of %d) -> %s\n",
+		tracer.Len(), tracer.Total(), path)
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Printf("trace          dropped=%d (raise -trace-cap to keep more)\n", d)
+	}
+	return nil
+}
+
+// dumpMetrics prints the registry's deterministic dump to stdout.
+func dumpMetrics(reg *metrics.Registry) error {
+	fmt.Println("metrics        (same seed => byte-identical dump)")
+	return reg.Dump(os.Stdout)
+}
+
 // runChaos is the -chaos mode: one verified chaos run, then a rerun to
-// prove the digest is a pure function of (seed, faults).
-func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string) error {
+// prove the digest is a pure function of (seed, faults). The tracer and
+// metrics registry attach to the first run only — neither charges
+// virtual time, so the second (bare) run must still produce the same
+// digest.
+func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string,
+	tracePath string, traceCap int, traceFormat string, showMetrics bool) error {
 	m := arch.ByName(machineName)
 	if m == nil {
 		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
@@ -89,7 +131,18 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 		Machine: m, Seed: seed, Specs: specs,
 		ULPs: ulps, Ops: ops, Idle: idlePolicy, SigMode: sigMode,
 	}
-	d1, stats, err := chaos.RunWithStats(cfg)
+	cfg1 := cfg
+	var tracer *sim.Tracer
+	if tracePath != "" {
+		tracer = sim.NewTracer(traceCap)
+		cfg1.Trace = tracer
+	}
+	var reg *metrics.Registry
+	if showMetrics {
+		reg = metrics.NewRegistry()
+		cfg1.Metrics = reg
+	}
+	d1, stats, err := chaos.RunWithStats(cfg1)
 	if err != nil {
 		return err
 	}
@@ -109,6 +162,14 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 	}
 	fmt.Printf("determinism    rerun digest identical\n")
 	fmt.Printf("repro          %s\n", chaos.ReproCommand(cfg))
+	if tracer != nil {
+		if err := writeTrace(tracer, tracePath, traceFormat, "chaos "+m.Name); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		return dumpMetrics(reg)
+	}
 	return nil
 }
 
@@ -137,6 +198,7 @@ func parseModes(idle, signals string) (blt.IdlePolicy, core.SignalMode, error) {
 
 func run(machineName string, ulps, progCores, syscallCores, ops int,
 	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
+	traceFormat string, showMetrics bool,
 	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string) error {
 
 	m := arch.ByName(machineName)
@@ -158,6 +220,11 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		e.SetTracer(tracer)
 	}
 	k := kernel.New(e, m)
+	var reg *metrics.Registry
+	if showMetrics {
+		reg = metrics.NewRegistry()
+		k.SetMetrics(reg)
+	}
 	var plane *fault.Plane
 	if faultsStr != "" {
 		specs, err := fault.ParseSpecs(faultsStr)
@@ -274,16 +341,16 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	}
 
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
+		if err := writeTrace(tracer, tracePath, traceFormat, m.Name); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := tracer.Dump(f); err != nil {
-			return err
+	}
+	if reg != nil {
+		k.FinalizeMetrics()
+		if plane != nil {
+			plane.PublishMetrics(reg)
 		}
-		fmt.Printf("trace          %d events retained (of %d) -> %s\n",
-			len(tracer.Events()), tracer.Total(), tracePath)
+		return dumpMetrics(reg)
 	}
 	return nil
 }

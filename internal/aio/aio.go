@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -86,6 +87,10 @@ type Context struct {
 
 	// Stats.
 	submitted, completed, respawns uint64
+
+	// Metric handles (nil when metrics are off).
+	mDepth    *metrics.Histogram
+	mRespawns *metrics.Counter
 }
 
 // New creates an AIO context owned by the given task. No helper thread
@@ -95,7 +100,12 @@ func New(owner *kernel.Task) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{owner: owner, sleepWord: word}, nil
+	c := &Context{owner: owner, sleepWord: word}
+	if reg := owner.Kernel().Metrics(); reg != nil {
+		c.mDepth = reg.Histogram("aio.queue_depth")
+		c.mRespawns = reg.Counter("aio.respawns")
+	}
+	return c, nil
 }
 
 // Helper returns the helper thread's task, nil before first submission.
@@ -125,6 +135,9 @@ func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, 
 		c.helper = nil
 		c.dead = false
 		c.respawns++
+		if c.mRespawns != nil {
+			c.mRespawns.Inc()
+		}
 	}
 	if c.helper == nil {
 		c.helper = t.Clone("aio-helper", kernel.PThreadFlags, c.helperBody)
@@ -139,6 +152,9 @@ func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, 
 	t.Charge(k.Machine().Costs.AIODispatch)
 	c.queue = append(c.queue, r)
 	c.submitted++
+	if c.mDepth != nil {
+		c.mDepth.Observe(int64(len(c.queue)))
+	}
 	c.kick(t)
 	return r, nil
 }
@@ -244,6 +260,13 @@ func (c *Context) helperBody(t *kernel.Task) int {
 	var backoff sim.Duration
 	for {
 		if fp != nil && fp.TaskShouldDie(t, "aio_helper_kill") {
+			if tr := k.Engine().Tracer(); tr != nil {
+				m := sim.Meta{Task: t.Name(), PID: t.PID(), Core: -1}
+				if core := t.Core(); core != nil {
+					m.Core = core.ID()
+				}
+				tr.Emit(k.Engine().Now(), "fault", m, "aio_helper_kill: %s dies with %d queued", t.Name(), len(c.queue))
+			}
 			c.die(t)
 			return killedExitStatus
 		}

@@ -198,6 +198,7 @@ func Fig6Scenario(m *arch.Machine, syscallCores []int, oversubs []int) ([]Fig6Po
 			var makespan sim.Duration
 			e := sim.New()
 			k := kernel.New(e, m)
+			finish := instrument(k)
 			_, bootErr := core.Boot(k, cfg, func(rt *core.Runtime) int {
 				start := e.Now()
 				prog := benchImage("fig6", func(envI interface{}) int {
@@ -235,6 +236,7 @@ func Fig6Scenario(m *arch.Machine, syscallCores []int, oversubs []int) ([]Fig6Po
 			if err := e.Run(); err != nil {
 				return nil, err
 			}
+			finish()
 			ops := float64(numULPs * opsPerULP)
 			out = append(out, Fig6Point{
 				Machine: m, SyscallCores: nc, Oversub: ov, NumULPs: numULPs,

@@ -23,12 +23,15 @@ var Runs = 3
 func RunKernel(m *arch.Machine, body func(k *kernel.Kernel, root *kernel.Task)) error {
 	e := sim.New()
 	k := kernel.New(e, m)
+	finish := instrument(k)
 	root := k.NewTask("bench-root", k.NewAddressSpace(), func(t *kernel.Task) int {
 		body(k, t)
 		return 0
 	})
 	k.Start(root, 0)
-	return e.Run()
+	err := e.Run()
+	finish()
+	return err
 }
 
 // MinOf repeats f Runs times and returns the smallest result.

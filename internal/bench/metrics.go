@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+)
+
+// Metrics, when non-nil, aggregates the metric registries of every
+// simulated kernel the harness builds (ulpbench -metrics-json). Each run
+// gets its own private registry — the parallel sweeps share nothing hot —
+// and the registries are folded in here under a lock once the run's
+// engine has drained. Merge is commutative, so the aggregate is
+// byte-identical at any -parallel width, like the results themselves.
+var Metrics *metrics.Registry
+
+var metricsMu sync.Mutex
+
+// instrument attaches a fresh per-run registry to k when Metrics is set.
+// The returned finish func finalizes the run's gauges and merges the
+// registry into Metrics; with metrics off both are no-ops, so the
+// measured workloads stay byte-for-byte untouched.
+func instrument(k *kernel.Kernel) func() {
+	if Metrics == nil {
+		return func() {}
+	}
+	reg := metrics.NewRegistry()
+	k.SetMetrics(reg)
+	return func() {
+		k.FinalizeMetrics()
+		metricsMu.Lock()
+		Metrics.Merge(reg)
+		metricsMu.Unlock()
+	}
+}

@@ -35,6 +35,7 @@ func MPIOversubscription(m *arch.Machine, rankCounts []int) ([]MPIPoint, error) 
 	for _, ranks := range rankCounts {
 		e := sim.New()
 		k := kernel.New(e, m)
+		finish := instrument(k)
 		var makespan sim.Duration
 		program := func(r *mpi.Rank) int {
 			right := (r.Rank() + 1) % r.Size()
@@ -71,6 +72,7 @@ func MPIOversubscription(m *arch.Machine, rankCounts []int) ([]MPIPoint, error) 
 		if err != nil {
 			return nil, err
 		}
+		finish()
 		for i, s := range statuses {
 			if s != 0 {
 				return nil, fmt.Errorf("mpi bench: rank %d exited %d", i, s)

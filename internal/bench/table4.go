@@ -43,6 +43,7 @@ func benchImage(name string, fn loader.MainFunc) *loader.Image {
 func runULP(m *arch.Machine, idle blt.IdlePolicy, setup func(rt *core.Runtime)) error {
 	e := sim.New()
 	k := kernel.New(e, m)
+	finish := instrument(k)
 	if _, err := core.Boot(k, ulpConfig(idle), func(rt *core.Runtime) int {
 		setup(rt)
 		rt.Shutdown()
@@ -50,7 +51,9 @@ func runULP(m *arch.Machine, idle blt.IdlePolicy, setup func(rt *core.Runtime)) 
 	}); err != nil {
 		return err
 	}
-	return e.Run()
+	err := e.Run()
+	finish()
+	return err
 }
 
 // ulpYieldTime measures the steady-state per-yield time of two ULPs

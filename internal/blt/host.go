@@ -117,6 +117,7 @@ func (h *KCHost) tcBody(c *uctx.Context) {
 	for {
 		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
 			h.killed = true // mid-decouple: the KC dies while idle
+			h.pool.emit(c.Carrier(), "fault", "kc_kill: %s dies idle", c.Carrier().Name())
 			return
 		}
 		h.slot.wait(c.Carrier(), func() bool {
@@ -127,6 +128,7 @@ func (h *KCHost) tcBody(c *uctx.Context) {
 		}
 		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
 			h.killed = true // mid-couple: a request is queued, never served
+			h.pool.emit(c.Carrier(), "fault", "kc_kill: %s dies with couple request queued", c.Carrier().Name())
 			return
 		}
 		b := h.dequeue(c.Carrier())
@@ -191,11 +193,21 @@ func (h *KCHost) die(t *kernel.Task) {
 func (h *KCHost) runCoupled(t *kernel.Task, b *BLT) {
 	h.running = b
 	defer func() { h.running = nil }()
+	p := h.pool
+	// Open the couple→exec→decouple bracket on the KC's core; Decouple
+	// (or the exit path below) closes it.
+	if tr := p.kern.Engine().Tracer(); tr != nil {
+		b.bracket = tr.BeginSpan(p.kern.Engine().Now(), "blt.span", p.meta(t, b.name), "coupled "+b.name)
+	}
 	for {
 		ev := b.uc.Step(t)
 		if ev.Kind == uctx.EvExit {
 			// Paper rule 7: a BLT always terminates as a KLT coupled
 			// with its original KC.
+			if tr := p.kern.Engine().Tracer(); tr != nil && b.bracket != 0 {
+				tr.EndSpan(p.kern.Engine().Now(), b.bracket, p.meta(t, b.name))
+				b.bracket = 0
+			}
 			b.done = true
 			h.lastExit = b.exitStatus
 			h.residents--

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/uctx"
 )
@@ -72,6 +73,69 @@ func (p *Pool) trace(format string, args ...interface{}) {
 	}
 }
 
+// meta builds typed trace metadata for an event executing on t. An empty
+// name falls back to the kernel task's own name.
+func (p *Pool) meta(t *kernel.Task, name string) sim.Meta {
+	m := sim.Meta{Task: name, Core: -1}
+	if t != nil {
+		if name == "" {
+			m.Task = t.Name()
+		}
+		m.PID = t.PID()
+		if c := t.Core(); c != nil {
+			m.Core = c.ID()
+		}
+	}
+	return m
+}
+
+// emit records a typed instant event on t's current core.
+func (p *Pool) emit(t *kernel.Task, kind, format string, args ...interface{}) {
+	if tr := p.kern.Engine().Tracer(); tr != nil {
+		tr.Emit(p.kern.Engine().Now(), kind, p.meta(t, ""), format, args...)
+	}
+}
+
+// opFrame carries the latency clock and span id of one couple/decouple
+// handshake from opEnter to opExit. Zero frame (on=false): neither
+// metrics nor tracing are active.
+type opFrame struct {
+	start sim.Time
+	span  uint64
+	on    bool
+}
+
+// opEnter opens a couple/decouple handshake: starts the latency clock
+// and (with a tracer) a "blt.span" span on the core where the handshake
+// begins. h is the destination histogram, nil when metrics are off.
+func (p *Pool) opEnter(t *kernel.Task, b *BLT, name string, h *metrics.Histogram) opFrame {
+	tr := p.kern.Engine().Tracer()
+	if h == nil && tr == nil {
+		return opFrame{}
+	}
+	f := opFrame{start: p.kern.Engine().Now(), on: true}
+	if tr != nil {
+		f.span = tr.BeginSpan(f.start, "blt.span", p.meta(t, b.name), name+" "+b.name)
+	}
+	return f
+}
+
+// opExit closes the handshake opened by opEnter: observes the wall
+// virtual-time latency and ends the span (on whatever core the
+// handshake finished).
+func (p *Pool) opExit(t *kernel.Task, b *BLT, f opFrame, h *metrics.Histogram) {
+	if !f.on {
+		return
+	}
+	end := p.kern.Engine().Now()
+	if h != nil {
+		h.Observe(int64(end.Sub(f.start)))
+	}
+	if tr := p.kern.Engine().Tracer(); tr != nil {
+		tr.EndSpan(end, f.span, p.meta(t, b.name))
+	}
+}
+
 // Pool manages scheduler BLTs and the BLTs they run.
 type Pool struct {
 	kern    *kernel.Kernel
@@ -85,6 +149,13 @@ type Pool struct {
 	hosts     []*KCHost
 
 	stopped bool
+
+	// Metric handles, resolved from the kernel's registry at NewPool
+	// time (nil when metrics are off — each site costs one nil check).
+	mCouple   *metrics.Histogram
+	mDecouple *metrics.Histogram
+	mULT      *metrics.Counter
+	mSteals   *metrics.Counter
 }
 
 // NewPool creates the schedulers (one kernel thread pinned to each
@@ -101,6 +172,12 @@ func NewPool(creator *kernel.Task, cfg Config) (*Pool, error) {
 		cfg.CloneFlags = kernel.PiPProcessFlags
 	}
 	p := &Pool{kern: creator.Kernel(), creator: creator, cfg: cfg}
+	if reg := p.kern.Metrics(); reg != nil {
+		p.mCouple = reg.Histogram("blt.couple.ps")
+		p.mDecouple = reg.Histogram("blt.decouple.ps")
+		p.mULT = reg.Counter("blt.ctx_switch.ult")
+		p.mSteals = reg.Counter("blt.steals")
+	}
 	for i, core := range cfg.ProgCores {
 		s := &Scheduler{pool: p, core: core, index: i}
 		if err := s.slot.init(p, creator); err != nil {

@@ -161,6 +161,8 @@ func (s *Scheduler) acquire(t *kernel.Task) *BLT {
 func (s *Scheduler) die(t *kernel.Task) {
 	s.dead = true
 	live := s.pool.nextLiveSched(s.index)
+	s.pool.emit(t, "fault", "sched_kill: sched%d dies, re-homing %d UCs to sched%d",
+		s.index, len(s.q), live.index)
 	s.pool.trace("sched%d: killed; re-homing %d UCs to sched%d", s.index, len(s.q), live.index)
 	for len(s.q) > 0 {
 		b := s.dequeue(t)
@@ -205,6 +207,9 @@ func (s *Scheduler) steal(t *kernel.Task) *BLT {
 		p.q[len(p.q)-1] = nil
 		p.q = p.q[:len(p.q)-1]
 		s.steals++
+		if s.pool.mSteals != nil {
+			s.pool.mSteals.Inc()
+		}
 		return b
 	}
 	return nil
@@ -238,6 +243,9 @@ func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
 		}
 	}
 	s.dispatches++
+	if s.pool.mULT != nil {
+		s.pool.mULT.Inc()
+	}
 	s.pool.trace("sched%d: swap_ctx(.., %s)", s.index, b.name) // Seq.9 after decouple
 	s.running = b
 	ev := b.uc.Step(t)

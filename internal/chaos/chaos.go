@@ -28,6 +28,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 
 	Idle    blt.IdlePolicy
 	SigMode core.SignalMode
+
+	// Trace, when set, receives the run's events (ulpsim -chaos -trace).
+	// Tracing charges no virtual time, so the digest is unchanged.
+	Trace *sim.Tracer
+	// Metrics, when set, receives the run's metrics (ulpsim -chaos
+	// -metrics); like Trace it never perturbs the schedule.
+	Metrics *metrics.Registry
 }
 
 // Digest is the deterministic fingerprint of one chaos run: two runs of
@@ -159,7 +167,13 @@ func Run(cfg Config) (Digest, error) {
 func RunWithStats(cfg Config) (Digest, []string, error) {
 	cfg = cfg.withDefaults()
 	e := sim.New()
+	if cfg.Trace != nil {
+		e.SetTracer(cfg.Trace)
+	}
 	k := kernel.New(e, cfg.Machine)
+	if cfg.Metrics != nil {
+		k.SetMetrics(cfg.Metrics)
+	}
 	plane := fault.NewPlane(cfg.Seed, cfg.Specs)
 	k.SetFaultPlane(plane)
 
@@ -231,6 +245,10 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 	}
 	if err := e.Run(); err != nil {
 		return Digest{}, plane.Stats(), fmt.Errorf("engine: %w\nrepro: %s", err, ReproCommand(cfg))
+	}
+	if cfg.Metrics != nil {
+		k.FinalizeMetrics()
+		plane.PublishMetrics(cfg.Metrics)
 	}
 
 	d := Digest{

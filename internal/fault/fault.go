@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/kernel"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -417,6 +418,20 @@ func (p *Plane) Injections() uint64 {
 		n += a.fires
 	}
 	return n
+}
+
+// PublishMetrics folds the plane's per-site hit/fire totals into a
+// metrics registry as "fault.<site>.hits" / "fault.<site>.fires"
+// counters. Specs sharing a site aggregate. Call after the run (the
+// counts are cumulative snapshots, not live increments).
+func (p *Plane) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, a := range p.specs {
+		reg.Counter("fault." + a.Site + ".hits").Add(a.hits)
+		reg.Counter("fault." + a.Site + ".fires").Add(a.fires)
+	}
 }
 
 // Stats returns one line per spec: "<spec> hits=H fires=F", sorted by

@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// The fault-free syscall hot path must not allocate: with no registry
+// installed sysEnter returns a zero stack frame after one nil check, and
+// with metrics on the handles are resolved once and histograms update in
+// place. These tests pin both properties, mirroring the engine-level
+// alloc tests in internal/sim.
+//
+// The workload is a single resident task spinning on getpid: it never
+// blocks, so the run avoids the dispatch path (whose engine.After closure
+// legitimately allocates) and measures only the per-syscall cost.
+
+func syscallSpinner(reg *metrics.Registry) (*sim.Engine, func()) {
+	e := sim.New()
+	k := New(e, arch.Wallaby())
+	if reg != nil {
+		k.SetMetrics(reg)
+	}
+	task := k.NewTask("spinner", k.NewAddressSpace(), func(t *Task) int {
+		for {
+			t.Getpid()
+			t.Compute(sim.Microsecond)
+		}
+	})
+	k.Start(task, 0)
+	next := e.Now()
+	return e, func() {
+		next = next.Add(100 * sim.Microsecond)
+		if err := e.RunUntil(next); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestSyscallMetricsOffZeroAllocs(t *testing.T) {
+	e, step := syscallSpinner(nil)
+	step() // absorb one-time growth: initial dispatch, heap slice
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("metrics-off getpid loop allocates %.1f per chunk, want 0", got)
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
+func TestSyscallMetricsOnZeroAllocs(t *testing.T) {
+	e, step := syscallSpinner(metrics.NewRegistry())
+	step() // warm-up also creates the getpid latency histogram
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("metrics-on getpid loop allocates %.1f per chunk, want 0", got)
+	}
+	e.Stop()
+	e.Shutdown()
+}

@@ -77,7 +77,14 @@ func (k *Kernel) faultSyscall(t *Task, site string) error {
 	if k.faults == nil {
 		return nil
 	}
-	return k.faults.SyscallError(t, site)
+	err := k.faults.SyscallError(t, site)
+	if err != nil {
+		if k.mFaults != nil {
+			k.mFaults.Inc()
+		}
+		k.emit(t, "fault", "%s: %v", site, err)
+	}
+	return err
 }
 
 // faultIOScale folds the fs-degradation factor into an I/O cost.

@@ -49,21 +49,32 @@ func (t *Task) FutexWaitTimeout(addr uint64, expected uint64, d sim.Duration) er
 
 func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) error {
 	k := t.kernel
-	k.countSyscall(t, "futex_wait")
+	fr := k.sysEnter(t, "futex_wait")
+	if k.mFutex.waits != nil {
+		k.mFutex.waits.Inc()
+	}
 	t.Charge(k.machine.Costs.FutexWaitCall)
 	if err := k.faultSyscall(t, "futex_wait"); err != nil {
+		k.sysExit(t, fr)
 		return err
 	}
 	val, err := t.space.ReadU64(addr, taskCharger{t})
 	if err != nil {
+		k.sysExit(t, fr)
 		return err
 	}
 	if val != expected {
+		k.sysExit(t, fr)
 		return ErrFutexAgain
 	}
 	if k.faults != nil && k.faults.FutexSpurious(t, addr) {
 		// A spurious wakeup: the caller observes EAGAIN without having
 		// slept, as if the word had changed and changed back.
+		if k.mFutex.spurious != nil {
+			k.mFutex.spurious.Inc()
+		}
+		k.emit(t, "fault", "futex spurious wakeup addr=%#x", addr)
+		k.sysExit(t, fr)
 		return ErrFutexAgain
 	}
 	key := futexKey{t.space.ID, addr}
@@ -82,10 +93,16 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 	}
 	switch k.block(t, q) {
 	case WakeInterrupted:
+		k.sysExit(t, fr)
 		return ErrInterrupted
 	case WakeTimeout:
+		if k.mFutex.timeouts != nil {
+			k.mFutex.timeouts.Inc()
+		}
+		k.sysExit(t, fr)
 		return ErrTimedOut
 	}
+	k.sysExit(t, fr)
 	return nil
 }
 
@@ -94,7 +111,10 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 // experiences the kernel wakeup latency before running.
 func (t *Task) FutexWake(addr uint64, n int) int {
 	k := t.kernel
-	k.countSyscall(t, "futex_wake")
+	fr := k.sysEnter(t, "futex_wake")
+	if k.mFutex.wakes != nil {
+		k.mFutex.wakes.Inc()
+	}
 	t.Charge(k.machine.Costs.FutexWakeCall)
 	key := futexKey{t.space.ID, addr}
 	q := k.futexes.queue(key)
@@ -104,6 +124,10 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 			// Lost wakeup: silently drop the wake destined for the oldest
 			// waiter. The waker proceeds believing it woke someone; the
 			// waiter stays asleep until a retry, timeout or later wake.
+			if k.mFutex.lost != nil {
+				k.mFutex.lost.Inc()
+			}
+			k.emit(t, "fault", "futex lost wake addr=%#x", addr)
 			woken++
 			continue
 		}
@@ -112,6 +136,10 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 		}
 		woken++
 	}
+	if k.mFutex.woken != nil {
+		k.mFutex.woken.Add(uint64(woken))
+	}
+	k.sysExit(t, fr)
 	return woken
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/fs"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,21 @@ type Kernel struct {
 	// timeline, when set, receives one record per contiguous span a
 	// task occupies a core (see SetTimeline).
 	timeline TimelineRecorder
+
+	// metrics, when set, is the registry the kernel publishes into; the
+	// individual handles below are cached by SetMetrics so the
+	// metrics-off hot path costs one nil check and zero allocations.
+	metrics *metrics.Registry
+	mSysLat map[string]*metrics.Histogram
+	mRunq   *metrics.Histogram
+	mCtxKLT *metrics.Counter
+	mFutex  struct {
+		waits, wakes, woken, lost, spurious, timeouts *metrics.Counter
+	}
+	mTLS     *metrics.Counter
+	mTLSCost *metrics.Counter
+	mSignals *metrics.Counter
+	mFaults  *metrics.Counter
 
 	// Stats.
 	syscalls      uint64
@@ -123,6 +139,69 @@ type TimelineRecorder interface {
 
 // SetTimeline installs a scheduling-span recorder (nil clears it).
 func (k *Kernel) SetTimeline(tl TimelineRecorder) { k.timeline = tl }
+
+// SetMetrics installs a metrics registry (nil clears it) and resolves
+// the kernel's metric handles. Install before the simulation runs; the
+// registry records no time and perturbs no schedule, so metrics-on and
+// metrics-off runs of the same seed are event-identical.
+func (k *Kernel) SetMetrics(reg *metrics.Registry) {
+	k.metrics = reg
+	if reg == nil {
+		k.mSysLat, k.mRunq, k.mCtxKLT = nil, nil, nil
+		k.mFutex.waits, k.mFutex.wakes, k.mFutex.woken = nil, nil, nil
+		k.mFutex.lost, k.mFutex.spurious, k.mFutex.timeouts = nil, nil, nil
+		k.mTLS, k.mTLSCost, k.mSignals, k.mFaults = nil, nil, nil, nil
+		return
+	}
+	k.mSysLat = make(map[string]*metrics.Histogram)
+	k.mRunq = reg.Histogram("kernel.runq.depth")
+	k.mCtxKLT = reg.Counter("kernel.ctx_switch.klt")
+	k.mFutex.waits = reg.Counter("kernel.futex.waits")
+	k.mFutex.wakes = reg.Counter("kernel.futex.wake_calls")
+	k.mFutex.woken = reg.Counter("kernel.futex.woken")
+	k.mFutex.lost = reg.Counter("kernel.futex.lost_wakes")
+	k.mFutex.spurious = reg.Counter("kernel.futex.spurious")
+	k.mFutex.timeouts = reg.Counter("kernel.futex.timeouts")
+	// TLS-switch cost attribution: the mechanism is a machine property
+	// (x86_64 arch_prctl syscall vs AArch64 user-mode tpidr_el0), so the
+	// counter name carries it (the Table III/IV ablation axis).
+	mech := "arch_prctl"
+	if k.machine.TLSUserAccessible {
+		mech = "tpidr_el0"
+	}
+	k.mTLS = reg.Counter("kernel.tls_switch." + mech)
+	k.mTLSCost = reg.Counter("kernel.tls_switch.cost_ps")
+	k.mSignals = reg.Counter("kernel.signals.delivered")
+	k.mFaults = reg.Counter("kernel.faults.injected")
+}
+
+// Metrics returns the installed registry, or nil. Runtime layers (blt,
+// aio) resolve their own handles from it.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// sysLatHist returns the latency histogram for the named system-call.
+// Only called with metrics installed.
+func (k *Kernel) sysLatHist(name string) *metrics.Histogram {
+	h := k.mSysLat[name]
+	if h == nil {
+		h = k.metrics.Histogram("kernel.syscall.ps." + name)
+		k.mSysLat[name] = h
+	}
+	return h
+}
+
+// FinalizeMetrics publishes end-of-run aggregates (per-core busy time,
+// totals) into the registry. Call after the engine drains, before
+// dumping.
+func (k *Kernel) FinalizeMetrics() {
+	if k.metrics == nil {
+		return
+	}
+	for _, c := range k.cores {
+		k.metrics.Gauge(fmt.Sprintf("kernel.core.%d.busy_ps", c.id)).Set(int64(c.busy))
+	}
+	k.metrics.Gauge("kernel.syscalls").Set(int64(k.syscalls))
+}
 
 // noteRun marks the moment a task starts occupying a core.
 func (k *Kernel) noteRun(c *Core) {
@@ -229,6 +308,26 @@ func load(c *Core) int {
 func (k *Kernel) trace(format string, args ...interface{}) {
 	if tr := k.engine.Tracer(); tr != nil {
 		tr.Add(k.engine.Now(), "kernel", format, args...)
+	}
+}
+
+// taskMeta builds the typed trace metadata for a task (Core -1 when the
+// task is currently off-CPU).
+func taskMeta(t *Task) sim.Meta {
+	if t == nil {
+		return sim.NoMeta
+	}
+	m := sim.Meta{Task: t.name, PID: t.pid, Core: -1}
+	if t.core != nil {
+		m.Core = t.core.id
+	}
+	return m
+}
+
+// emit records a typed instant event attributed to t's current core.
+func (k *Kernel) emit(t *Task, kind, format string, args ...interface{}) {
+	if tr := k.engine.Tracer(); tr != nil {
+		tr.Emit(k.engine.Now(), kind, taskMeta(t), format, args...)
 	}
 }
 

@@ -30,9 +30,10 @@ const DefaultPipeCapacity = 64 * 1024
 // ends start open; Close each side independently.
 func (t *Task) NewPipe() (*PipeReader, *PipeWriter) {
 	k := t.kernel
-	k.countSyscall(t, "pipe")
+	fr := k.sysEnter(t, "pipe")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.OpenCost/2)
 	p := &Pipe{kernel: k, cap: DefaultPipeCapacity, readers: 1, writers: 1}
+	k.sysExit(t, fr)
 	return &PipeReader{p: p}, &PipeWriter{p: p}
 }
 
@@ -61,8 +62,9 @@ func (w *PipeWriter) Write(t *Task, data []byte) (int, error) {
 	}
 	written := 0
 	for written < len(data) {
-		k.countSyscall(t, "write_pipe")
+		fr := k.sysEnter(t, "write_pipe")
 		if p.readers == 0 {
+			k.sysExit(t, fr)
 			return written, ErrPipeClosed
 		}
 		space := p.cap - len(p.buf)
@@ -70,6 +72,7 @@ func (w *PipeWriter) Write(t *Task, data []byte) (int, error) {
 			// Buffer full: sleep until a reader drains it.
 			t.Charge(k.machine.Costs.SyscallEntry)
 			k.block(t, &p.writeq)
+			k.sysExit(t, fr)
 			continue
 		}
 		n := len(data) - written
@@ -83,6 +86,7 @@ func (w *PipeWriter) Write(t *Task, data []byte) (int, error) {
 		written += n
 		p.bytesMoved += uint64(n)
 		k.WakeAll(&p.readq, k.machine.Costs.FutexWakeLatency)
+		k.sysExit(t, fr)
 	}
 	return written, nil
 }
@@ -96,7 +100,7 @@ func (r *PipeReader) Read(t *Task, buf []byte) (int, error) {
 		return 0, ErrPipeClosed
 	}
 	for {
-		k.countSyscall(t, "read_pipe")
+		fr := k.sysEnter(t, "read_pipe")
 		if len(p.buf) > 0 {
 			n := copy(buf, p.buf)
 			// The second copy, kernel buffer -> reader.
@@ -105,14 +109,17 @@ func (r *PipeReader) Read(t *Task, buf []byte) (int, error) {
 			rest := copy(p.buf, p.buf[n:])
 			p.buf = p.buf[:rest]
 			k.WakeAll(&p.writeq, k.machine.Costs.FutexWakeLatency)
+			k.sysExit(t, fr)
 			return n, nil
 		}
 		if p.writers == 0 {
 			t.Charge(k.machine.Costs.SyscallEntry)
+			k.sysExit(t, fr)
 			return 0, nil // EOF
 		}
 		t.Charge(k.machine.Costs.SyscallEntry)
 		k.block(t, &p.readq)
+		k.sysExit(t, fr)
 	}
 }
 

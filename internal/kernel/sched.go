@@ -66,6 +66,9 @@ func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
 // dispatch puts t on core c, resuming (or first-starting) its proc after
 // the given latency.
 func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
+	if k.mRunq != nil {
+		k.mRunq.Observe(int64(len(c.runq)))
+	}
 	c.current = t
 	t.core = c
 	t.state = TaskRunning
@@ -90,6 +93,9 @@ func (k *Kernel) scheduleNext(c *Core) {
 	}
 	k.ctxSwitches++
 	next.nCtxSwitches++
+	if k.mCtxKLT != nil {
+		k.mCtxKLT.Inc()
+	}
 	k.dispatch(next, c, k.machine.Costs.KernelSwitch)
 }
 
@@ -184,14 +190,18 @@ func (k *Kernel) exitTask(t *Task, status int) {
 // Table IV asymmetry).
 func (t *Task) SchedYield() {
 	k := t.kernel
-	k.countSyscall(t, "sched_yield")
+	fr := k.sysEnter(t, "sched_yield")
 	t.Charge(k.machine.Costs.SchedYieldNoSwitch)
 	c := t.core
 	if len(c.runq) == 0 {
+		k.sysExit(t, fr)
 		return
 	}
 	k.ctxSwitches++
 	t.nCtxSwitches++
+	if k.mCtxKLT != nil {
+		k.mCtxKLT.Inc()
+	}
 	t.Charge(k.machine.Costs.KernelSwitch)
 	next := c.pop()
 	t.state = TaskReady
@@ -201,16 +211,18 @@ func (t *Task) SchedYield() {
 	c.current = nil
 	k.dispatch(next, c, 0)
 	t.proc.Park()
+	k.sysExit(t, fr)
 }
 
 // Nanosleep suspends the calling task for the given virtual duration.
 func (t *Task) Nanosleep(d sim.Duration) {
 	k := t.kernel
-	k.countSyscall(t, "nanosleep")
+	fr := k.sysEnter(t, "nanosleep")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	var q WaitQueue
 	k.engine.After(d, func() { k.WakeOne(&q, k.machine.Costs.KernelSwitch) })
 	k.block(t, &q)
+	k.sysExit(t, fr)
 }
 
 // Wait implements wait(2): block until some child process exits, reap it
@@ -220,7 +232,7 @@ func (t *Task) Nanosleep(d sim.Duration) {
 // fork()ed processes".
 func (t *Task) Wait() (pid, status int, err error) {
 	k := t.kernel
-	k.countSyscall(t, "wait")
+	fr := k.sysEnter(t, "wait")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.WaitCost)
 	for {
 		waitable := 0
@@ -233,13 +245,16 @@ func (t *Task) Wait() (pid, status int, err error) {
 				ch.state = TaskDead
 				delete(k.tasks, ch.pid)
 				t.children = append(t.children[:i], t.children[i+1:]...)
+				k.sysExit(t, fr)
 				return ch.pid, ch.exitCode, nil
 			}
 		}
 		if waitable == 0 {
+			k.sysExit(t, fr)
 			return 0, 0, ErrNoChild
 		}
 		if reason := k.block(t, &t.childWait); reason == WakeInterrupted {
+			k.sysExit(t, fr)
 			return 0, 0, ErrInterrupted
 		}
 	}
@@ -249,10 +264,11 @@ func (t *Task) Wait() (pid, status int, err error) {
 // exits, returning its status. Models pthread_join.
 func (t *Task) Join(target *Task) int {
 	k := t.kernel
-	k.countSyscall(t, "join")
+	fr := k.sysEnter(t, "join")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	for !target.exited {
 		k.block(t, &target.doneQ)
 	}
+	k.sysExit(t, fr)
 	return target.exitCode
 }

@@ -64,9 +64,10 @@ func (t *Task) Signals() *SignalState { return t.sig }
 // table.
 func (t *Task) Sigaction(sig int, h SigHandler) {
 	k := t.kernel
-	k.countSyscall(t, "sigaction")
+	fr := k.sysEnter(t, "sigaction")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	t.sig.handlers[sig] = h
+	k.sysExit(t, fr)
 }
 
 // Sigprocmask replaces the calling task's blocked-signal mask and
@@ -75,7 +76,7 @@ func (t *Task) Sigaction(sig int, h SigHandler) {
 // non-negligible overhead".
 func (t *Task) Sigprocmask(mask uint64) uint64 {
 	k := t.kernel
-	k.countSyscall(t, "sigprocmask")
+	fr := k.sysEnter(t, "sigprocmask")
 	t.Charge(k.machine.Costs.SigmaskSwitch)
 	old := t.sig.mask
 	t.sig.mask = mask
@@ -89,6 +90,7 @@ func (t *Task) Sigprocmask(mask uint64) uint64 {
 		t.kernel.deliver(t, sig)
 	}
 	t.sig.pending = still
+	k.sysExit(t, fr)
 	return old
 }
 
@@ -104,13 +106,15 @@ func (t *Task) SetSigmaskRaw(mask uint64) { t.sig.mask = mask }
 // the calling task. SIGKILL is not catchable or blockable.
 func (t *Task) Kill(pid, sig int) error {
 	k := t.kernel
-	k.countSyscall(t, "kill")
+	fr := k.sysEnter(t, "kill")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	target := k.tasks[pid]
 	if target == nil {
+		k.sysExit(t, fr)
 		return ErrBadPID
 	}
 	k.SendSignal(target, sig)
+	k.sysExit(t, fr)
 	return nil
 }
 
@@ -133,7 +137,10 @@ func (k *Kernel) deliver(target *Task, sig int) {
 	h := target.sig.handlers[sig]
 	target.sig.Deliveries = append(target.sig.Deliveries,
 		Delivery{Sig: sig, TaskPID: target.pid, Handled: h != nil})
-	k.trace("signal %d -> %s (handled=%v)", sig, pidString(target), h != nil)
+	if k.mSignals != nil {
+		k.mSignals.Inc()
+	}
+	k.emit(target, "signal", "signal %d -> %s (handled=%v)", sig, pidString(target), h != nil)
 	if h != nil {
 		h(target, sig)
 	}

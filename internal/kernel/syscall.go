@@ -21,22 +21,67 @@ func (k *Kernel) countSyscall(t *Task, name string) {
 	}
 }
 
+// sysFrame carries the observability state opened by sysEnter across a
+// system-call's body to sysExit. A zero frame (on=false) means neither
+// metrics nor tracing are active; it lives on the stack, so the
+// fault-free, metrics-off path allocates nothing.
+type sysFrame struct {
+	name  string
+	start sim.Time
+	span  uint64
+	on    bool
+}
+
+// sysEnter opens a system-call: the common bookkeeping plus, when a
+// registry or tracer is installed, the latency clock and a "syscall"
+// span on the executing core. Every return path of the call must run
+// sysExit with the frame. Latency is wall virtual time, so blocking
+// calls include their block — that is the number an application sees.
+func (k *Kernel) sysEnter(t *Task, name string) sysFrame {
+	k.countSyscall(t, name)
+	tr := k.engine.Tracer()
+	if k.metrics == nil && tr == nil {
+		return sysFrame{}
+	}
+	f := sysFrame{name: name, start: k.engine.Now(), on: true}
+	if tr != nil {
+		f.span = tr.BeginSpan(f.start, "syscall", taskMeta(t), name)
+	}
+	return f
+}
+
+// sysExit closes the frame opened by sysEnter.
+func (k *Kernel) sysExit(t *Task, f sysFrame) {
+	if !f.on {
+		return
+	}
+	end := k.engine.Now()
+	if k.metrics != nil {
+		k.sysLatHist(f.name).Observe(int64(end.Sub(f.start)))
+	}
+	if tr := k.engine.Tracer(); tr != nil {
+		tr.EndSpan(end, f.span, taskMeta(t))
+	}
+}
+
 // Getpid returns the calling task's process id (thread-group id). This
 // is the paper's canonical consistency example: "when a UC calls the
 // getpid() system-call, the returned PID may vary depending on the
 // scheduling KLT" — unless couple() routes the call to the right KC.
 func (t *Task) Getpid() int {
 	k := t.kernel
-	k.countSyscall(t, "getpid")
+	f := k.sysEnter(t, "getpid")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.GetPIDWork)
+	k.sysExit(t, f)
 	return t.tgid
 }
 
 // Gettid returns the kernel task id (distinct per thread).
 func (t *Task) Gettid() int {
 	k := t.kernel
-	k.countSyscall(t, "gettid")
+	f := k.sysEnter(t, "gettid")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.GetPIDWork)
+	k.sysExit(t, f)
 	return t.pid
 }
 
@@ -46,28 +91,40 @@ func (t *Task) Gettid() int {
 // tpidr_el0 is written directly from user mode for a few nanoseconds.
 func (t *Task) LoadTLS(val uint64) {
 	k := t.kernel
+	var f sysFrame
 	if !k.machine.TLSUserAccessible {
-		k.countSyscall(t, "arch_prctl")
+		f = k.sysEnter(t, "arch_prctl")
+	}
+	if k.mTLS != nil {
+		k.mTLS.Inc()
+		k.mTLSCost.Add(uint64(k.machine.Costs.TLSLoad))
 	}
 	t.Charge(k.machine.Costs.TLSLoad)
 	t.tlsReg = val
+	if !k.machine.TLSUserAccessible {
+		k.sysExit(t, f)
+	}
 }
 
 // Open opens path with the given flags on the machine's tmpfs, returning
 // a descriptor in the calling task's FD table.
 func (t *Task) Open(path string, flags fs.OpenFlags) (int, error) {
 	k := t.kernel
-	k.countSyscall(t, "open")
+	fr := k.sysEnter(t, "open")
 	if err := k.faultSyscall(t, "open"); err != nil {
 		t.Charge(k.machine.Costs.SyscallEntry)
+		k.sysExit(t, fr)
 		return -1, err
 	}
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.OpenCost)
 	f, err := k.fs.Open(path, flags)
 	if err != nil {
+		k.sysExit(t, fr)
 		return -1, err
 	}
-	return t.fdt.Alloc(f), nil
+	fd := t.fdt.Alloc(f)
+	k.sysExit(t, fr)
+	return fd, nil
 }
 
 // Write writes data to fd. remote marks that the calling core did not
@@ -76,68 +133,83 @@ func (t *Task) Open(path string, flags fs.OpenFlags) (int, error) {
 // interconnect at the machine's remote-byte penalty.
 func (t *Task) Write(fd int, data []byte, remote bool) (int, error) {
 	k := t.kernel
-	k.countSyscall(t, "write")
+	fr := k.sysEnter(t, "write")
 	if err := k.faultSyscall(t, "write"); err != nil {
 		t.Charge(k.machine.Costs.SyscallEntry)
+		k.sysExit(t, fr)
 		return 0, err
 	}
 	t.Charge(k.faultIOScale(t, k.machine.WriteCost(len(data), remote)))
 	f, err := t.fdt.Get(fd)
 	if err != nil {
+		k.sysExit(t, fr)
 		return 0, err
 	}
-	return f.Write(data)
+	n, err := f.Write(data)
+	k.sysExit(t, fr)
+	return n, err
 }
 
 // Read reads from fd into buf.
 func (t *Task) Read(fd int, buf []byte) (int, error) {
 	k := t.kernel
-	k.countSyscall(t, "read")
+	fr := k.sysEnter(t, "read")
 	c := k.machine.Costs
 	if err := k.faultSyscall(t, "read"); err != nil {
 		t.Charge(c.SyscallEntry)
+		k.sysExit(t, fr)
 		return 0, err
 	}
 	f, err := t.fdt.Get(fd)
 	if err != nil {
 		t.Charge(c.SyscallEntry + c.ReadBase)
+		k.sysExit(t, fr)
 		return 0, err
 	}
 	n, err := f.Read(buf)
 	t.Charge(c.SyscallEntry + c.ReadBase + k.faultIOScale(t, fromBytes(c.WriteBytePS, n)))
+	k.sysExit(t, fr)
 	return n, err
 }
 
 // Close closes fd.
 func (t *Task) Close(fd int) error {
 	k := t.kernel
-	k.countSyscall(t, "close")
+	fr := k.sysEnter(t, "close")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.CloseCost)
 	f, err := t.fdt.Remove(fd)
 	if err != nil {
+		k.sysExit(t, fr)
 		return err
 	}
-	return f.Close()
+	err = f.Close()
+	k.sysExit(t, fr)
+	return err
 }
 
 // Seek positions fd (lseek).
 func (t *Task) Seek(fd, pos int) error {
 	k := t.kernel
-	k.countSyscall(t, "lseek")
+	fr := k.sysEnter(t, "lseek")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	f, err := t.fdt.Get(fd)
 	if err != nil {
+		k.sysExit(t, fr)
 		return err
 	}
-	return f.Seek(pos)
+	err = f.Seek(pos)
+	k.sysExit(t, fr)
+	return err
 }
 
 // Unlink removes a path.
 func (t *Task) Unlink(path string) error {
 	k := t.kernel
-	k.countSyscall(t, "unlink")
+	fr := k.sysEnter(t, "unlink")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.CloseCost)
-	return k.fs.Unlink(path)
+	err := k.fs.Unlink(path)
+	k.sysExit(t, fr)
+	return err
 }
 
 // Mmap allocates anonymous memory in the task's address space
@@ -145,17 +217,21 @@ func (t *Task) Unlink(path string) error {
 // one heap segment cannot be shared; see the paper's §IV).
 func (t *Task) Mmap(size uint64, populated bool) (uint64, error) {
 	k := t.kernel
-	k.countSyscall(t, "mmap")
+	fr := k.sysEnter(t, "mmap")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.MmapCost)
-	return t.space.Mmap(size, mem.ProtRead|mem.ProtWrite, t.name+".mmap", populated, taskCharger{t})
+	va, err := t.space.Mmap(size, mem.ProtRead|mem.ProtWrite, t.name+".mmap", populated, taskCharger{t})
+	k.sysExit(t, fr)
+	return va, err
 }
 
 // Munmap releases memory mapped with Mmap.
 func (t *Task) Munmap(addr, size uint64) error {
 	k := t.kernel
-	k.countSyscall(t, "munmap")
+	fr := k.sysEnter(t, "munmap")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.MmapCost)
-	return t.space.Munmap(addr, size)
+	err := t.space.Munmap(addr, size)
+	k.sysExit(t, fr)
+	return err
 }
 
 // MemWrite/MemRead access the task's address space as plain loads and

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count = %d, want 10", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("Min = %d, want 0 (negative clamped)", h.Min())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d, want 1000", h.Max())
+	}
+	if h.Sum() != 1125 {
+		t.Errorf("Sum = %d, want 1125", h.Sum())
+	}
+	// p50: rank 5 of {0,0,1,2,3,4,7,8,100,1000} is 3 -> bucket [2,3] upper 3.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	// p100: last value 1000 -> bucket [512,1023] upper 1023.
+	if got := h.Quantile(1); got != 1023 {
+		t.Errorf("p100 = %d, want 1023", got)
+	}
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	if got := h.Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("p50 of MaxInt64 = %d, want MaxInt64", got)
+	}
+	if h.Max() != math.MaxInt64 {
+		t.Errorf("Max = %d, want MaxInt64", h.Max())
+	}
+}
+
+func TestRegistryStableHandlesAndDump(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter handle not stable")
+	}
+	c.Add(3)
+	r.Gauge("b.gauge").Set(7)
+	r.Gauge("b.gauge").Set(2) // max stays 7
+	r.Histogram("c.hist").Observe(5)
+
+	var b1, b2 bytes.Buffer
+	if err := r.Dump(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Dump(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("Dump is not reproducible on the same registry")
+	}
+	out := b1.String()
+	for _, want := range []string{"a.count", "b.gauge", "c.hist", "(max 7)"} {
+		if !bytes.Contains(b1.Bytes(), []byte(want)) {
+			t.Errorf("Dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	build := func(vals ...int64) *Registry {
+		r := NewRegistry()
+		for _, v := range vals {
+			r.Counter("n").Add(uint64(v))
+			r.Gauge("g").Set(v)
+			r.Histogram("h").Observe(v)
+		}
+		return r
+	}
+	a, b := build(1, 2), build(10)
+	m1 := NewRegistry()
+	m1.Merge(a)
+	m1.Merge(b)
+	m2 := NewRegistry()
+	m2.Merge(b)
+	m2.Merge(a)
+	var d1, d2 bytes.Buffer
+	m1.Dump(&d1)
+	m2.Dump(&d2)
+	if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+		t.Errorf("merge not order-independent:\n%s\nvs\n%s", d1.String(), d2.String())
+	}
+	if m1.Counter("n").Value() != 13 {
+		t.Errorf("merged counter = %d, want 13", m1.Counter("n").Value())
+	}
+	if m1.Gauge("g").Value() != 10 {
+		t.Errorf("merged gauge = %d, want 10 (max of finals)", m1.Gauge("g").Value())
+	}
+	if m1.Histogram("h").Count() != 3 {
+		t.Errorf("merged hist count = %d, want 3", m1.Histogram("h").Count())
+	}
+}
+
+func TestSnapshotSortedAndExpanded(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Histogram("a.lat").Observe(10)
+	s := r.Snapshot()
+	if len(s) != 7 { // 6 hist samples + 1 counter
+		t.Fatalf("Snapshot len = %d, want 7", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name > s[i].Name {
+			t.Errorf("Snapshot not sorted: %q before %q", s[i-1].Name, s[i].Name)
+		}
+	}
+	if s[len(s)-1].Name != "z" || s[len(s)-1].Value != 1 {
+		t.Errorf("last sample = %+v, want counter z=1", s[len(s)-1])
+	}
+}

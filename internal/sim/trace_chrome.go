@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the retained events serialized in the
+// Trace Event Format that chrome://tracing and ui.perfetto.dev load.
+// Layout:
+//
+//   - one process (pid 1), named after the simulated machine;
+//   - one thread track per CPU core (tid = core id), plus an "engine"
+//     track (tid = engineTID) for events not bound to a core;
+//   - PhBegin/PhEnd pairs become complete ("X") duration slices, drawn
+//     on the track of the core where the span began — couple/decouple
+//     handshakes that migrate cores keep their origin track;
+//   - PhInstant and legacy log events become instant ("i") markers.
+//
+// Timestamps are microseconds (the format's unit); virtual picoseconds
+// convert at 1e-6, preserving sub-ns resolution as fractions.
+
+// engineTID is the synthetic track for events without a core.
+const engineTID = 1000
+
+// chromeEvent is one trace-event JSON object.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func chromeTS(at Time) float64 { return float64(at) / 1e6 }
+
+func chromeTID(core int) int {
+	if core < 0 {
+		return engineTID
+	}
+	return core
+}
+
+// DumpChrome writes the retained events as Chrome trace-event JSON.
+// processName labels the single process (typically the machine name).
+// Spans whose begin was evicted by the ring render nothing; spans still
+// open at the end of the trace are closed at the last event's time.
+func (t *Tracer) DumpChrome(w io.Writer, processName string) error {
+	evs := t.events()
+
+	type open struct {
+		ev  TraceEvent
+		dur float64 // set when the matching end arrives
+		ok  bool
+	}
+	pending := make(map[uint64]*open)
+	var spans []*open
+	var out []chromeEvent
+	tids := map[int]bool{}
+	var last Time
+
+	for _, ev := range evs {
+		if ev.At > last {
+			last = ev.At
+		}
+		switch ev.Ph {
+		case PhBegin:
+			o := &open{ev: ev}
+			pending[ev.Span] = o
+			spans = append(spans, o)
+		case PhEnd:
+			o := pending[ev.Span]
+			if o == nil {
+				continue // begin evicted by the ring
+			}
+			delete(pending, ev.Span)
+			o.dur = chromeTS(ev.At) - chromeTS(o.ev.At)
+			o.ok = true
+		default:
+			tid := chromeTID(ev.Core)
+			tids[tid] = true
+			e := chromeEvent{
+				Name: ev.Msg, Cat: ev.Kind, Ph: "i",
+				Ts: chromeTS(ev.At), PID: 1, TID: tid, S: "t",
+			}
+			if ev.Task != "" {
+				e.Args = map[string]interface{}{"task": ev.Task, "taskPid": ev.PID}
+			}
+			out = append(out, e)
+		}
+	}
+	for _, o := range spans {
+		if !o.ok { // still open: close at the end of the trace
+			o.dur = chromeTS(last) - chromeTS(o.ev.At)
+		}
+		tid := chromeTID(o.ev.Core)
+		tids[tid] = true
+		dur := o.dur
+		e := chromeEvent{
+			Name: spanName(o.ev), Cat: o.ev.Kind, Ph: "X",
+			Ts: chromeTS(o.ev.At), Dur: &dur, PID: 1, TID: tid,
+		}
+		if o.ev.Task != "" {
+			e.Args = map[string]interface{}{"task": o.ev.Task, "taskPid": o.ev.PID}
+		}
+		out = append(out, e)
+	}
+
+	// Metadata: process and per-core thread names, so Perfetto shows
+	// "core N" tracks instead of bare tids.
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]interface{}{"name": processName},
+	}}
+	ids := make([]int, 0, len(tids))
+	for tid := range tids {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	for _, tid := range ids {
+		name := "engine"
+		if tid != engineTID {
+			name = coreName(tid)
+		}
+		meta = append(meta,
+			chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]interface{}{"name": name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]interface{}{"sort_index": tid}},
+		)
+	}
+
+	// Stable order: metadata first, then events by (ts, tid, name) so
+	// the same trace always serializes to the same bytes.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		return out[i].Name < out[j].Name
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ns",
+	})
+}
+
+// spanName renders a span's display name: the begin record's message
+// without the "begin " prefix render() adds for the text dump.
+func spanName(ev TraceEvent) string {
+	const prefix = "begin "
+	if len(ev.Msg) > len(prefix) && ev.Msg[:len(prefix)] == prefix {
+		return ev.Msg[len(prefix):]
+	}
+	return ev.Msg
+}
+
+func coreName(tid int) string { return fmt.Sprintf("core %d", tid) }

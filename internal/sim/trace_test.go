@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderCounter counts how many times it is formatted, exposing whether
+// the tracer re-renders records on repeated reads.
+type renderCounter struct{ n *int }
+
+func (rc renderCounter) String() string {
+	*rc.n++
+	return "x"
+}
+
+func TestTracerLenAndDropped(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Add(Time(i), "k", "e%d", i)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Msg != "e2" || evs[2].Msg != "e4" {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestTracerRendersEachRecordOnce(t *testing.T) {
+	tr := NewTracer(0)
+	n := 0
+	tr.Add(1, "k", "%v", renderCounter{&n})
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	tr.Dump(&buf)
+	tr.Events()
+	if n != 1 {
+		t.Errorf("record rendered %d times across 3 reads, want 1", n)
+	}
+	// A new record invalidates the cache: everything renders once more.
+	tr.Add(2, "k", "%v", renderCounter{&n})
+	tr.Events()
+	if n != 3 {
+		t.Errorf("after invalidation rendered %d times total, want 3", n)
+	}
+}
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	tr := NewTracer(0)
+	m := Meta{Task: "w", PID: 7, Core: 2}
+	id := tr.BeginSpan(10, "syscall", m, "write")
+	tr.Emit(15, "fault", m, "boom %d", 1)
+	tr.EndSpan(20, id, m)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Ph != PhBegin || evs[0].Span != id || evs[0].Msg != "begin write" {
+		t.Errorf("begin = %+v", evs[0])
+	}
+	if evs[1].Ph != PhInstant || evs[1].Task != "w" || evs[1].Core != 2 || evs[1].Msg != "boom 1" {
+		t.Errorf("instant = %+v", evs[1])
+	}
+	if evs[2].Ph != PhEnd || evs[2].Span != id {
+		t.Errorf("end = %+v", evs[2])
+	}
+}
+
+func TestDumpChromeClosesUnmatchedSpans(t *testing.T) {
+	tr := NewTracer(0)
+	m := Meta{Task: "w", PID: 7, Core: 1}
+	tr.BeginSpan(10, "syscall", m, "read") // never ended
+	tr.Emit(50, "fault", m, "last")
+	var buf bytes.Buffer
+	if err := tr.DumpChrome(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The open span must render as a complete event closed at the last
+	// event's timestamp (dur = 40 ps = 4e-5 us).
+	if !strings.Contains(out, `"name":"read"`) || !strings.Contains(out, `"ph":"X"`) {
+		t.Errorf("unmatched span missing from export:\n%s", out)
+	}
+	if !strings.Contains(out, `"name":"process_name"`) {
+		t.Errorf("missing process metadata:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package timeline
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/loader"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -136,6 +138,86 @@ func TestTimelineShowsFig6Partitioning(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "core 0") || !strings.Contains(out, "│") {
 		t.Errorf("gantt malformed:\n%s", out)
+	}
+}
+
+// TestSpansMatchMetricsUnderStealingAndPreemption pins the agreement
+// between the two observability planes under the most migration-heavy
+// configuration: work-stealing schedulers plus a preemption quantum
+// shorter than the compute bursts. Per core, spans must never overlap
+// and must sum exactly to the kernel.core.N.busy_ps gauge the metrics
+// plane publishes — both derive from the same Charge stream, so any
+// divergence is double-counting in one of them.
+func TestSpansMatchMetricsUnderStealingAndPreemption(t *testing.T) {
+	e := sim.New()
+	k := kernel.New(e, arch.Wallaby())
+	rec := New()
+	k.SetTimeline(rec)
+	reg := metrics.NewRegistry()
+	k.SetMetrics(reg)
+	prog := &loader.Image{
+		Name: "w", PIE: true, TextSize: 4096,
+		Symbols: []loader.Symbol{{Name: "x", Size: 8}},
+		Main: func(envI interface{}) int {
+			env := envI.(*core.Env)
+			env.Decouple()
+			// Rank-skewed bursts, each several quanta long, so stealing
+			// rebalances and preemption splits the bursts.
+			for i := 0; i < 3; i++ {
+				env.Compute(sim.Duration(20+10*env.U.Rank) * sim.Microsecond)
+				env.Getpid()
+				env.Yield()
+			}
+			env.Couple()
+			return 0
+		},
+	}
+	core.Boot(k, core.Config{
+		ProgCores:      []int{0, 1},
+		SyscallCores:   []int{2, 3},
+		Idle:           blt.Blocking,
+		WorkStealing:   true,
+		PreemptQuantum: 5 * sim.Microsecond,
+	}, func(rt *core.Runtime) int {
+		// Pile every ULP onto scheduler 0: only stealing moves work.
+		for i := 0; i < 6; i++ {
+			if _, err := rt.Spawn(prog, core.SpawnOpts{Scheduler: 0}); err != nil {
+				t.Error(err)
+				return 1
+			}
+		}
+		rt.WaitAll()
+		rt.Shutdown()
+		return 0
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.FinalizeMetrics()
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	perCore := map[int][]Span{}
+	busy := map[int]sim.Duration{}
+	for _, s := range spans {
+		perCore[s.Core] = append(perCore[s.Core], s)
+		busy[s.Core] += s.Dur()
+	}
+	for c, ss := range perCore {
+		for i := 0; i < len(ss); i++ {
+			for j := i + 1; j < len(ss); j++ {
+				a, b := ss[i], ss[j]
+				if a.Start < b.End && b.Start < a.End {
+					t.Fatalf("overlapping spans on core %d: %+v vs %+v", c, a, b)
+				}
+			}
+		}
+		want := reg.Gauge(fmt.Sprintf("kernel.core.%d.busy_ps", c)).Value()
+		if int64(busy[c]) != want {
+			t.Errorf("core %d: span sum %d ps, metrics busy %d ps", c, int64(busy[c]), want)
+		}
 	}
 }
 

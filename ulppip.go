@@ -41,6 +41,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/pip"
 	"repro/internal/sim"
@@ -58,7 +59,25 @@ type (
 	Duration = sim.Duration
 	// Tracer records engine and runtime events.
 	Tracer = sim.Tracer
+	// TraceEvent is one rendered tracer record.
+	TraceEvent = sim.TraceEvent
+	// TraceMeta attributes an event to a task, PID and core.
+	TraceMeta = sim.Meta
+	// TracePhase distinguishes logs, instants and span begin/end pairs.
+	TracePhase = sim.Phase
 )
+
+// Trace phases.
+const (
+	TracePhLog     = sim.PhLog
+	TracePhInstant = sim.PhInstant
+	TracePhBegin   = sim.PhBegin
+	TracePhEnd     = sim.PhEnd
+)
+
+// NewTracer creates a bounded event tracer (install with
+// Engine.SetTracer; export with Tracer.Dump or Tracer.DumpChrome).
+var NewTracer = sim.NewTracer
 
 // Duration units.
 const (
@@ -277,6 +296,24 @@ const (
 	FaultSchedDelay    = fault.SiteSchedDelay
 	FaultFSSlow        = fault.SiteFSSlow
 )
+
+// Deterministic metrics plane (install with Kernel.SetMetrics; see
+// DESIGN.md §7).
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotonically increasing count.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is an instantaneous value with max tracking.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a log₂-bucketed latency/depth distribution.
+	MetricsHistogram = metrics.Histogram
+	// MetricsSample is one flattened metric value from Snapshot.
+	MetricsSample = metrics.Sample
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = metrics.NewRegistry
 
 // Sim bundles an engine with a kernel for one machine — the usual entry
 // point.
