@@ -13,6 +13,15 @@
 //
 //	ulpsim -chaos -seed 7 -machine Albireo -idle blocking \
 //	       -faults 'futex_lost_wake:prob=0.05;kc_kill:prob=0.002,task=kc.chaos'
+//
+// With -explore it runs the controlled-scheduling explorer: same-instant
+// event ties are resolved by a policy (seeded random walks or bounded
+// exhaustive DFS) instead of FIFO, and every explored schedule is checked
+// against the protocol's invariant oracles. A failing schedule prints a
+// shrunk decision trace and the command that replays it:
+//
+//	ulpsim -explore -explore-scenario blt-mn -explore-policy dfs \
+//	       -explore-depth 4 -explore-runs 256
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"repro/internal/blt"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -53,8 +63,14 @@ func main() {
 		showTimeline = flag.Bool("timeline", false, "print per-core utilization and an ASCII Gantt chart")
 		preemptUS    = flag.Float64("preempt-us", 0, "Shinjuku-style ULT preemption quantum [us], 0 = off")
 		chaosMode    = flag.Bool("chaos", false, "run the seeded chaos fuzzer instead of the scenario workload")
-		seed         = flag.Uint64("seed", 1, "fault plane / chaos seed")
+		seed         = flag.Uint64("seed", 1, "fault plane / chaos / exploration seed")
 		faults       = flag.String("faults", "", "fault specs, e.g. 'futex_lost_wake:prob=0.01;kc_kill:nth=3,task=kc.t2' (in -chaos mode, empty means the default mix)")
+		exploreMode  = flag.Bool("explore", false, "run the schedule explorer instead of the scenario workload")
+		exploreScen  = flag.String("explore-scenario", "pingpong", "exploration scenario: pingpong, blt-nn or blt-mn")
+		explorePol   = flag.String("explore-policy", "random", "exploration policy: random (seeded walks) or dfs (bounded exhaustive)")
+		exploreRuns  = flag.Int("explore-runs", 64, "number of walks (random) or run budget (dfs, 0 = unbounded)")
+		exploreDepth = flag.Int("explore-depth", 4, "dfs decision-depth cap")
+		exploreTrace = flag.String("explore-trace", "", "replay this comma-separated decision trace instead of exploring")
 	)
 	flag.Parse()
 	var err error
@@ -63,6 +79,9 @@ func main() {
 	} else if *chaosMode {
 		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults,
 			*tracePath, *traceCap, *traceFormat, *showMetrics)
+	} else if *exploreMode {
+		err = runExplore(*machineName, *idle, *exploreScen, *explorePol,
+			*exploreRuns, *exploreDepth, *seed, *exploreTrace)
 	} else {
 		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
 			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
@@ -170,6 +189,71 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 	if reg != nil {
 		return dumpMetrics(reg)
 	}
+	return nil
+}
+
+// runExplore is the -explore mode: controlled-scheduling runs of a named
+// scenario under an exploration policy, every run checked against the
+// invariant oracles. A failing schedule is shrunk to its minimal
+// decision prefix and printed with the exact replay command; -explore-trace
+// replays such a prefix deterministically.
+func runExplore(machineName, idle, scenario, policyStr string,
+	runs, depth int, seed uint64, traceStr string) error {
+	var mk func() *arch.Machine
+	switch strings.ToLower(machineName) {
+	case "wallaby":
+		mk = arch.Wallaby
+	case "albireo":
+		mk = arch.Albireo
+	default:
+		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
+	}
+	idlePolicy, _, err := parseModes(idle, "fcontext")
+	if err != nil {
+		return err
+	}
+	s, err := explore.ByName(scenario, mk, idlePolicy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario       %s on %s, idle=%s\n", s.Name, machineName, idlePolicy)
+	if traceStr != "" {
+		prefix, err := explore.ParseTrace(traceStr)
+		if err != nil {
+			return err
+		}
+		ds, err := explore.Replay(s, prefix)
+		fmt.Printf("replay         prefix %s -> %d decisions\n", explore.TraceString(prefix), len(ds))
+		if err != nil {
+			return fmt.Errorf("oracle violation reproduced: %w", err)
+		}
+		fmt.Printf("verdict        all oracles hold on the replayed schedule\n")
+		return nil
+	}
+	pol, err := explore.ParsePolicy(policyStr)
+	if err != nil {
+		return err
+	}
+	res := explore.Explore(s, explore.Config{Policy: pol, Runs: runs, Depth: depth, Seed: seed})
+	fmt.Printf("policy         %s (runs=%d depth=%d seed=%d)\n", pol, runs, depth, seed)
+	fmt.Printf("explored       %d runs, %d decision points, max branching %d\n",
+		res.Runs, res.Decisions, res.MaxWidth)
+	if pol == explore.DFS {
+		if res.Complete {
+			fmt.Printf("coverage       bounded search space exhausted\n")
+		} else {
+			fmt.Printf("coverage       run budget hit before exhausting the space\n")
+		}
+	}
+	if f := res.Failure; f != nil {
+		fmt.Printf("FAILURE        %s\n", f.Err)
+		fmt.Printf("trace          %s (run %d, seed %d)\n", explore.TraceString(f.Trace), f.Run, f.Seed)
+		fmt.Printf("shrunk         %s\n", explore.TraceString(f.Shrunk))
+		fmt.Printf("repro          ulpsim -explore -explore-scenario %s -machine %s -idle %s -explore-trace %s\n",
+			s.Name, machineName, idlePolicy, explore.TraceString(f.Shrunk))
+		return fmt.Errorf("oracle violation after %d runs", res.Runs)
+	}
+	fmt.Printf("verdict        all oracles hold on every explored schedule\n")
 	return nil
 }
 

@@ -51,6 +51,11 @@ type Config struct {
 	// Metrics, when set, receives the run's metrics (ulpsim -chaos
 	// -metrics); like Trace it never perturbs the schedule.
 	Metrics *metrics.Registry
+	// Chooser, when set, resolves same-instant event ties instead of the
+	// engine's FIFO default, composing fault injection with schedule
+	// exploration. Unlike Trace and Metrics it perturbs the schedule, so
+	// the digest is only reproducible for a deterministic chooser.
+	Chooser sim.Chooser
 }
 
 // Digest is the deterministic fingerprint of one chaos run: two runs of
@@ -169,6 +174,9 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 	e := sim.New()
 	if cfg.Trace != nil {
 		e.SetTracer(cfg.Trace)
+	}
+	if cfg.Chooser != nil {
+		e.SetChooser(cfg.Chooser)
 	}
 	k := kernel.New(e, cfg.Machine)
 	if cfg.Metrics != nil {

@@ -1,0 +1,61 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/timeline"
+)
+
+// CheckFutexClaims checks the unconditional futex conservation law:
+// every wake slot FutexWake claims was either delivered to a waiter or
+// eaten by the lost-wake fault site. Valid mid-run and under task
+// kills.
+func CheckFutexClaims(k *kernel.Kernel) error {
+	st := k.FutexStats()
+	if st.Claimed != st.Delivered+st.Lost {
+		return fmt.Errorf("futex claims not conserved: claimed=%d != delivered=%d + lost=%d",
+			st.Claimed, st.Delivered, st.Lost)
+	}
+	return nil
+}
+
+// CheckFutexConservation checks the full futex ledger at clean
+// quiescence (engine drained, no tasks killed mid-sleep): claims
+// conserved, every sleep accounted for by exactly one wake cause, every
+// delivered wake actually resumed its waiter, and no waiter left
+// behind on any futex word.
+func CheckFutexConservation(k *kernel.Kernel) error {
+	if err := CheckFutexClaims(k); err != nil {
+		return err
+	}
+	st := k.FutexStats()
+	if st.Blocked != st.Resumed+st.Timeouts+st.Interrupted {
+		return fmt.Errorf("futex sleeps not conserved: blocked=%d != resumed=%d + timeouts=%d + interrupted=%d",
+			st.Blocked, st.Resumed, st.Timeouts, st.Interrupted)
+	}
+	if st.Delivered != st.Resumed {
+		return fmt.Errorf("futex wakes leaked: delivered=%d != resumed=%d", st.Delivered, st.Resumed)
+	}
+	if n := k.ResidualFutexWaiters(); n != 0 {
+		return fmt.Errorf("futex waiters left asleep at quiescence: %d", n)
+	}
+	return nil
+}
+
+// CheckTimelineConservation checks that the scheduling timeline and the
+// kernel's per-core busy accounting agree exactly: the sum of recorded
+// span durations on each core equals that core's cumulative busy time.
+// The recorder must have been installed before the first dispatch.
+func CheckTimelineConservation(k *kernel.Kernel, rec *timeline.Recorder) error {
+	perCore := make(map[int]int64)
+	for _, sp := range rec.Spans() {
+		perCore[sp.Core] += int64(sp.Dur())
+	}
+	for i := 0; i < k.Cores(); i++ {
+		if got, want := perCore[i], int64(k.Core(i).Busy()); got != want {
+			return fmt.Errorf("timeline busy mismatch on core %d: spans sum %d ps, core busy %d ps", i, got, want)
+		}
+	}
+	return nil
+}

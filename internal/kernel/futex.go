@@ -70,6 +70,7 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 	if k.faults != nil && k.faults.FutexSpurious(t, addr) {
 		// A spurious wakeup: the caller observes EAGAIN without having
 		// slept, as if the word had changed and changed back.
+		k.fxStats.Spurious++
 		if k.mFutex.spurious != nil {
 			k.mFutex.spurious.Inc()
 		}
@@ -79,11 +80,15 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 	}
 	key := futexKey{t.space.ID, addr}
 	q := k.futexes.queue(key)
-	t.waitSeq++
 	if timeout > 0 {
-		seq := t.waitSeq
+		// block() below will bump waitSeq to exactly this value (nothing
+		// can block in between: After only schedules a callback). The
+		// timer fires only if the task is still in this very sleep —
+		// because every blocking wait on any path increments waitSeq, a
+		// task that woke and re-blocked on the same queue (say via
+		// Semaphore.Wait on the same word) no longer matches.
+		seq := t.waitSeq + 1
 		k.engine.After(timeout, func() {
-			// Fire only if the task is still in this very sleep.
 			if t.waitSeq == seq && t.state == TaskBlocked && t.blockedOn == q {
 				q.remove(t)
 				t.wakeReason = WakeTimeout
@@ -91,17 +96,21 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 			}
 		})
 	}
+	k.fxStats.Blocked++
 	switch k.block(t, q) {
 	case WakeInterrupted:
+		k.fxStats.Interrupted++
 		k.sysExit(t, fr)
 		return ErrInterrupted
 	case WakeTimeout:
+		k.fxStats.Timeouts++
 		if k.mFutex.timeouts != nil {
 			k.mFutex.timeouts.Inc()
 		}
 		k.sysExit(t, fr)
 		return ErrTimedOut
 	}
+	k.fxStats.Resumed++
 	k.sysExit(t, fr)
 	return nil
 }
@@ -109,38 +118,56 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 // FutexWake implements futex(FUTEX_WAKE): wake up to n waiters on addr.
 // The caller pays the wake system-call; each woken task additionally
 // experiences the kernel wakeup latency before running.
+//
+// Return-value semantics under fault injection: the return counts wake
+// slots *claimed*, including wakes eaten by the futex_lost_wake site —
+// a genuinely lost wakeup deceives the waker into believing it woke
+// someone, which is precisely the hazard the site models. The `woken`
+// metric (and FutexStats.Delivered) count only wakes actually delivered;
+// FutexStats.Lost accounts for the difference, so
+// return == Delivered + Lost holds per call.
 func (t *Task) FutexWake(addr uint64, n int) int {
 	k := t.kernel
 	fr := k.sysEnter(t, "futex_wake")
+	k.fxStats.WakeCalls++
 	if k.mFutex.wakes != nil {
 		k.mFutex.wakes.Inc()
 	}
 	t.Charge(k.machine.Costs.FutexWakeCall)
 	key := futexKey{t.space.ID, addr}
 	q := k.futexes.queue(key)
-	woken := 0
-	for woken < n {
-		if k.faults != nil && len(q.tasks) > 0 && k.faults.FutexDropWake(q.tasks[0], addr) {
-			// Lost wakeup: silently drop the wake destined for the oldest
+	claimed, delivered := 0, 0
+	// idx walks the queue: a dropped wake consumes its slot but must
+	// advance past the doomed waiter, otherwise one waiter whose fault
+	// stream keeps firing absorbs every slot and starves the rest.
+	idx := 0
+	for claimed < n && idx < len(q.tasks) {
+		w := q.tasks[idx]
+		if k.faults != nil && k.faults.FutexDropWake(w, addr) {
+			// Lost wakeup: silently drop the wake destined for this
 			// waiter. The waker proceeds believing it woke someone; the
 			// waiter stays asleep until a retry, timeout or later wake.
+			k.fxStats.Lost++
 			if k.mFutex.lost != nil {
 				k.mFutex.lost.Inc()
 			}
 			k.emit(t, "fault", "futex lost wake addr=%#x", addr)
-			woken++
+			claimed++
+			idx++
 			continue
 		}
-		if k.WakeOne(q, k.machine.Costs.FutexWakeLatency) == nil {
-			break
-		}
-		woken++
+		q.removeAt(idx)
+		k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
+		claimed++
+		delivered++
 	}
+	k.fxStats.Claimed += uint64(claimed)
+	k.fxStats.Delivered += uint64(delivered)
 	if k.mFutex.woken != nil {
-		k.mFutex.woken.Add(uint64(woken))
+		k.mFutex.woken.Add(uint64(delivered))
 	}
 	k.sysExit(t, fr)
-	return woken
+	return claimed
 }
 
 // FutexWaiters reports how many tasks sleep on the given word (for tests

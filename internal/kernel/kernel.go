@@ -77,6 +77,48 @@ type Kernel struct {
 	syscalls      uint64
 	ctxSwitches   uint64
 	syscallCounts map[string]uint64
+
+	// fxStats is the always-on futex conservation ledger (plain counters,
+	// no registry indirection): invariant oracles check its conservation
+	// laws after explored runs. See FutexStats.
+	fxStats FutexStats
+}
+
+// FutexStats is the kernel's futex accounting ledger, maintained
+// unconditionally (unlike the optional metrics registry) so correctness
+// oracles can check conservation laws on every run:
+//
+//	Claimed == Delivered + Lost            (always)
+//	Blocked == Resumed + Timeouts + Interrupted   (at quiescence)
+//	Delivered == Resumed                   (at quiescence)
+//
+// "Claimed" follows FutexWake's documented return-value semantics: every
+// wake slot consumed, whether the wake was delivered or eaten by an
+// injected lost-wake fault.
+type FutexStats struct {
+	WakeCalls   uint64 // FutexWake invocations
+	Claimed     uint64 // wake slots consumed (delivered + lost)
+	Delivered   uint64 // waiters actually made runnable by FutexWake
+	Lost        uint64 // wakes eaten by the futex_lost_wake fault site
+	Blocked     uint64 // futexWait calls that actually went to sleep
+	Resumed     uint64 // sleeps ended by a delivered wake
+	Timeouts    uint64 // sleeps ended by the timeout timer
+	Interrupted uint64 // sleeps ended by signal delivery
+	Spurious    uint64 // injected spurious wakeups (never slept)
+}
+
+// FutexStats returns a copy of the futex conservation ledger.
+func (k *Kernel) FutexStats() FutexStats { return k.fxStats }
+
+// ResidualFutexWaiters reports the number of tasks still blocked on any
+// futex word — nonzero at quiescence means a lost wakeup (or a missing
+// one) left a sleeper behind.
+func (k *Kernel) ResidualFutexWaiters() int {
+	n := 0
+	for _, q := range k.futexes.queues {
+		n += q.Len()
+	}
+	return n
 }
 
 // New creates a kernel for the given machine model on the given engine.

@@ -27,6 +27,17 @@ func (q *WaitQueue) pop() *Task {
 	return t
 }
 
+// removeAt unlinks the waiter at index i, preserving FIFO order of the
+// rest. The wake path uses it to advance past a waiter whose wake was
+// eaten by a lost-wake fault without re-targeting the same head forever.
+func (q *WaitQueue) removeAt(i int) *Task {
+	t := q.tasks[i]
+	copy(q.tasks[i:], q.tasks[i+1:])
+	q.tasks[len(q.tasks)-1] = nil
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t
+}
+
 func (q *WaitQueue) remove(t *Task) bool {
 	for i, x := range q.tasks {
 		if x == t {
@@ -108,6 +119,12 @@ func (k *Kernel) block(t *Task, q *WaitQueue) WakeReason {
 	}
 	t.state = TaskBlocked
 	t.wakeReason = WakeNormal
+	// Every blocking wait bumps waitSeq, regardless of the path taken
+	// (futex, nanosleep, wait, join). A timed futex wait captures the
+	// value its sleep will have; its stale-timer guard is therefore
+	// airtight even when the task re-blocks on the very same queue
+	// through a different wait path before the timer fires.
+	t.waitSeq++
 	if q != nil {
 		q.tasks = append(q.tasks, t)
 		t.blockedOn = q

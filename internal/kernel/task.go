@@ -102,8 +102,10 @@ type Task struct {
 	// allows signal delivery to interrupt sleeps.
 	blockedOn  *WaitQueue
 	wakeReason WakeReason
-	// waitSeq increments on every blocking wait; a timed wait's timer
-	// captures it so a stale timer cannot wake a later, unrelated sleep.
+	// waitSeq increments in block() on every blocking wait, whatever the
+	// path (futex, nanosleep, wait, join); a timed futex wait's timer
+	// captures the value of its own sleep so a stale timer can never wake
+	// a later sleep — even one re-armed on the very same queue.
 	waitSeq uint64
 
 	// Stats.

@@ -91,6 +91,21 @@ type Engine struct {
 	// proc-local Advance fast path must not carry the clock past it.
 	limit  Time
 	tracer *Tracer
+
+	// chooser, when non-nil, overrides the FIFO tie-break among events
+	// enabled at the same instant (see choose.go). The scratch slices are
+	// reused across decision points so exploration allocates nothing in
+	// steady state.
+	chooser    Chooser
+	candEvents []*event
+	candLabels []Candidate
+
+	// trapPanics converts proc panics into an error returned by
+	// Run/RunUntil instead of crashing the process — the explorer uses
+	// this so a protocol-violation panic on an adversarial schedule is a
+	// failing (and shrinkable) run, not an abort.
+	trapPanics bool
+	panicErr   error
 }
 
 // New creates an empty engine at virtual time zero.
@@ -297,7 +312,12 @@ func (e *Engine) dispatchNext(self *Proc) dispatchResult {
 		if next == nil || next.at > e.limit {
 			break
 		}
-		ev := e.popNext()
+		var ev *event
+		if e.chooser != nil {
+			ev = e.popChoose()
+		} else {
+			ev = e.popNext()
+		}
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, e.now))
 		}
@@ -356,6 +376,9 @@ func (e *Engine) Run() error {
 	e.stopped = false
 	e.limit = maxTime
 	e.loop()
+	if e.panicErr != nil {
+		return e.panicErr
+	}
 	if e.stopped {
 		return nil
 	}
@@ -380,8 +403,20 @@ func (e *Engine) RunUntil(t Time) error {
 	e.limit = t
 	defer func() { e.limit = maxTime }()
 	e.loop()
-	return nil
+	return e.panicErr
 }
+
+// SetTrapPanics selects what happens when a proc's function panics: with
+// trapping on, the panicking proc dies, the simulation stops, and
+// Run/RunUntil return the panic as an error; with trapping off (the
+// default) the panic propagates and crashes the process with the proc's
+// stack. The explorer traps panics so that invariant panics on
+// adversarial schedules become failing runs it can shrink and replay.
+func (e *Engine) SetTrapPanics(on bool) { e.trapPanics = on }
+
+// PanicErr returns the trapped proc panic that stopped the simulation,
+// or nil.
+func (e *Engine) PanicErr() error { return e.panicErr }
 
 // Stop makes Run return after the current event completes. Callable from
 // procs and callbacks.

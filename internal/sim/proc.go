@@ -88,6 +88,16 @@ func (p *Proc) run(fn func(*Proc)) {
 				p.die()
 				return
 			}
+			if p.engine.trapPanics {
+				// Record the failure, stop the simulation and die
+				// cleanly; Run/RunUntil will surface the error.
+				if p.engine.panicErr == nil {
+					p.engine.panicErr = fmt.Errorf("sim: proc %s panicked: %v", p, r)
+				}
+				p.engine.stopped = true
+				p.die()
+				return
+			}
 			// Re-panicking from a goroutine would crash the process
 			// without a useful trace through the engine; annotate.
 			p.die()

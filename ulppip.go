@@ -37,6 +37,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/blt"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -314,6 +315,50 @@ type (
 
 // NewMetricsRegistry creates an empty metrics registry.
 var NewMetricsRegistry = metrics.NewRegistry
+
+// Controlled-scheduling exploration (install a Chooser with
+// Engine.SetChooser; see DESIGN.md §8).
+type (
+	// Chooser resolves same-instant event ties; the engine consults it
+	// whenever more than one event is enabled at the earliest timestamp.
+	Chooser = sim.Chooser
+	// ChoiceCandidate describes one tied event offered to a Chooser.
+	ChoiceCandidate = sim.Candidate
+	// ExploreScenario is a replayable workload for the explorer.
+	ExploreScenario = explore.Scenario
+	// ExploreConfig selects the exploration policy and bounds.
+	ExploreConfig = explore.Config
+	// ExploreResult summarizes an exploration, including any shrunk
+	// failing schedule.
+	ExploreResult = explore.Result
+	// ExplorePolicy is the schedule-search strategy.
+	ExplorePolicy = explore.Policy
+)
+
+// Exploration policies.
+const (
+	ExploreRandomWalk = explore.RandomWalk
+	ExploreDFS        = explore.DFS
+)
+
+// Explore searches a scenario's schedule space under a policy.
+var Explore = explore.Explore
+
+// ExploreReplay re-executes a scenario under a recorded decision prefix.
+var ExploreReplay = explore.Replay
+
+// ExploreScenarioByName builds one of the stock exploration scenarios.
+var ExploreScenarioByName = explore.ByName
+
+// Invariant oracles usable outside the explorer as well.
+var (
+	// CheckFutexClaims checks the kill-safe futex wake-claim law.
+	CheckFutexClaims = explore.CheckFutexClaims
+	// CheckFutexConservation checks the full futex ledger at quiescence.
+	CheckFutexConservation = explore.CheckFutexConservation
+	// CheckTimelineConservation checks spans against per-core busy time.
+	CheckTimelineConservation = explore.CheckTimelineConservation
+)
 
 // Sim bundles an engine with a kernel for one machine — the usual entry
 // point.
