@@ -41,7 +41,11 @@ func (q *WaitQueue) removeAt(i int) *Task {
 func (q *WaitQueue) remove(t *Task) bool {
 	for i, x := range q.tasks {
 		if x == t {
-			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+			// Unlink via removeAt so the vacated tail slot is nil'd: the
+			// plain append(q.tasks[:i], q.tasks[i+1:]...) form leaves the
+			// old tail pointer behind in the backing array, retaining the
+			// removed task until the slot is overwritten by a later push.
+			q.removeAt(i)
 			return true
 		}
 	}

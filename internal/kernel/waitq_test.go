@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// retainsTask reports whether the wait queue still references t anywhere
+// in its backing storage, including vacated slots past the logical
+// length — the retention leak the remove() bugfix closes.
+func retainsTask(q *WaitQueue, t *Task) bool {
+	for _, x := range q.tasks[:cap(q.tasks)] {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWaitQueueRemoveNilsTailSlot pins the remove() unit behaviour: after
+// unlinking a waiter the vacated tail slot must not keep the old pointer
+// alive (pop and removeAt already nil it; remove used to forget to).
+func TestWaitQueueRemoveNilsTailSlot(t *testing.T) {
+	a, b, c := &Task{name: "a"}, &Task{name: "b"}, &Task{name: "c"}
+	q := &WaitQueue{}
+	for _, x := range []*Task{a, b, c} {
+		q.tasks = append(q.tasks, x)
+	}
+	if !q.remove(c) {
+		t.Fatal("remove(tail) reported not found")
+	}
+	if retainsTask(q, c) {
+		t.Error("queue retains removed tail waiter in its backing array")
+	}
+	if !q.remove(a) {
+		t.Fatal("remove(head) reported not found")
+	}
+	if retainsTask(q, a) {
+		t.Error("queue retains removed head waiter in its backing array")
+	}
+	if q.remove(a) {
+		t.Error("second remove of same task reported found")
+	}
+	if q.Len() != 1 || q.pop() != b {
+		t.Error("surviving waiter lost or reordered")
+	}
+}
+
+// TestInterruptedWaiterNotRetained exercises the real removal path: a
+// signal-interrupted futex waiter must leave no dangling reference in
+// the futex word's wait queue.
+func TestInterruptedWaiterNotRetained(t *testing.T) {
+	e, k := newKernel()
+	space := k.NewAddressSpace()
+	addr, err := space.Mmap(8, semProt, "futex", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victimErr, w1Err, w2Err error
+	w1 := k.NewTask("w1", space, func(task *Task) int {
+		w1Err = task.FutexWait(addr, 0)
+		return 0
+	})
+	victim := k.NewTask("victim", space, func(task *Task) int {
+		task.Nanosleep(sim.Microsecond) // queue behind w1
+		victimErr = task.FutexWait(addr, 0)
+		return 0
+	})
+	w2 := k.NewTask("w2", space, func(task *Task) int {
+		task.Nanosleep(2 * sim.Microsecond) // queue behind victim
+		w2Err = task.FutexWait(addr, 0)
+		return 0
+	})
+	driver := k.NewTask("driver", space, func(task *Task) int {
+		task.Nanosleep(10 * sim.Microsecond) // let all three block
+		if err := task.Kill(victim.PID(), SIGUSR1); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		q := k.futexes.queues[futexKey{space.ID, addr}]
+		if q == nil {
+			t.Fatal("futex queue missing")
+		}
+		if q.Len() != 2 {
+			t.Errorf("queue len = %d after interrupt, want 2", q.Len())
+		}
+		if retainsTask(q, victim) {
+			t.Error("futex queue retains the signal-interrupted waiter")
+		}
+		if n := task.FutexWake(addr, 2); n != 2 {
+			t.Errorf("FutexWake = %d, want 2", n)
+		}
+		return 0
+	})
+	for i, task := range []*Task{w1, victim, w2, driver} {
+		task.SetAffinity(i % k.Cores())
+		k.Start(task, 0)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if victimErr != ErrInterrupted {
+		t.Errorf("victim err = %v, want ErrInterrupted", victimErr)
+	}
+	if w1Err != nil || w2Err != nil {
+		t.Errorf("surviving waiters erred: %v, %v", w1Err, w2Err)
+	}
+	if n := k.ResidualFutexWaiters(); n != 0 {
+		t.Errorf("residual futex waiters = %d, want 0", n)
+	}
+}

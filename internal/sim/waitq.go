@@ -51,7 +51,11 @@ func (q *WaitQ) WakeAll(d Duration) int {
 func (q *WaitQ) Remove(p *Proc) bool {
 	for i, w := range q.waiters {
 		if w == p {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			// Shift and nil the vacated tail slot (like WakeOne) so the
+			// backing array does not retain the removed proc.
+			copy(q.waiters[i:], q.waiters[i+1:])
+			q.waiters[len(q.waiters)-1] = nil
+			q.waiters = q.waiters[:len(q.waiters)-1]
 			return true
 		}
 	}

@@ -100,6 +100,42 @@ func TestWaitQRemove(t *testing.T) {
 	}
 }
 
+// retainsProc reports whether the queue's backing storage still
+// references p anywhere, including vacated slots past the logical
+// length — the retention leak the Remove fix closes.
+func retainsProc(q *WaitQ, p *Proc) bool {
+	for _, w := range q.waiters[:cap(q.waiters)] {
+		if w == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWaitQRemoveDoesNotRetainProc pins the Remove retention fix: after
+// unlinking a waiter, the vacated tail slot must not keep the old
+// pointer alive (WakeOne already nils it; Remove used to forget to).
+func TestWaitQRemoveDoesNotRetainProc(t *testing.T) {
+	a, b, c := &Proc{name: "a"}, &Proc{name: "b"}, &Proc{name: "c"}
+	var q WaitQ
+	q.waiters = append(q.waiters, a, b, c)
+	if !q.Remove(c) {
+		t.Fatal("Remove(tail) reported not found")
+	}
+	if retainsProc(&q, c) {
+		t.Error("queue retains removed tail waiter in its backing array")
+	}
+	if !q.Remove(a) {
+		t.Fatal("Remove(head) reported not found")
+	}
+	if retainsProc(&q, a) {
+		t.Error("queue retains removed head waiter in its backing array")
+	}
+	if q.Len() != 1 || q.waiters[0] != b {
+		t.Error("surviving waiter lost or reordered")
+	}
+}
+
 func TestWaitQWakeAll(t *testing.T) {
 	e := New()
 	var q WaitQ
