@@ -137,12 +137,13 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	key := futexKey{t.space.ID, addr}
 	q := k.futexes.queue(key)
 	claimed, delivered := 0, 0
-	// idx walks the queue: a dropped wake consumes its slot but must
-	// advance past the doomed waiter, otherwise one waiter whose fault
-	// stream keeps firing absorbs every slot and starves the rest.
-	idx := 0
-	for claimed < n && idx < len(q.tasks) {
-		w := q.tasks[idx]
+	// w walks the queue in FIFO order: a dropped wake consumes its slot
+	// but must advance past the doomed waiter (which stays queued),
+	// otherwise one waiter whose fault stream keeps firing absorbs every
+	// slot and starves the rest. The successor is captured before
+	// unlinking because unlink clears the links.
+	for w := q.head; claimed < n && w != nil; {
+		next := w.wqNext
 		if k.faults != nil && k.faults.FutexDropWake(w, addr) {
 			// Lost wakeup: silently drop the wake destined for this
 			// waiter. The waker proceeds believing it woke someone; the
@@ -153,13 +154,14 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 			}
 			k.emit(t, "fault", "futex lost wake addr=%#x", addr)
 			claimed++
-			idx++
+			w = next
 			continue
 		}
-		q.removeAt(idx)
+		q.unlink(w)
 		k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
 		claimed++
 		delivered++
+		w = next
 	}
 	k.fxStats.Claimed += uint64(claimed)
 	k.fxStats.Delivered += uint64(delivered)

@@ -9,47 +9,69 @@ import (
 // WaitQueue is a FIFO queue of blocked kernel tasks. Unlike sim.WaitQ
 // (which parks raw procs), waking a task from a WaitQueue goes through
 // the scheduler, so the task waits for a CPU core if its core is busy.
+//
+// The queue is an intrusive doubly-linked list threaded through the
+// waiting tasks themselves (Task.wqPrev/wqNext): push, pop and remove
+// are all O(1), enqueueing a waiter allocates nothing, and unlinking
+// clears the task's link fields so a departed waiter is never retained.
+// A task sleeps on at most one queue at a time (block is the only
+// enqueuer and the enqueued task is suspended), which is what makes the
+// embedded links sound.
 type WaitQueue struct {
-	tasks []*Task
+	head, tail *Task
+	n          int
 }
 
 // Len reports the number of blocked tasks.
-func (q *WaitQueue) Len() int { return len(q.tasks) }
+func (q *WaitQueue) Len() int { return q.n }
 
-func (q *WaitQueue) pop() *Task {
-	if len(q.tasks) == 0 {
-		return nil
+// push appends t, which must not currently be on any queue.
+func (q *WaitQueue) push(t *Task) {
+	if t.wq != nil {
+		panic(fmt.Sprintf("kernel: %s pushed on a wait queue while on another", pidString(t)))
 	}
-	t := q.tasks[0]
-	copy(q.tasks, q.tasks[1:])
-	q.tasks[len(q.tasks)-1] = nil
-	q.tasks = q.tasks[:len(q.tasks)-1]
-	return t
+	t.wq = q
+	t.wqPrev = q.tail
+	if q.tail != nil {
+		q.tail.wqNext = t
+	} else {
+		q.head = t
+	}
+	q.tail = t
+	q.n++
 }
 
-// removeAt unlinks the waiter at index i, preserving FIFO order of the
-// rest. The wake path uses it to advance past a waiter whose wake was
-// eaten by a lost-wake fault without re-targeting the same head forever.
-func (q *WaitQueue) removeAt(i int) *Task {
-	t := q.tasks[i]
-	copy(q.tasks[i:], q.tasks[i+1:])
-	q.tasks[len(q.tasks)-1] = nil
-	q.tasks = q.tasks[:len(q.tasks)-1]
+// unlink removes t, which must be on q, clearing its link fields.
+func (q *WaitQueue) unlink(t *Task) {
+	if t.wqPrev != nil {
+		t.wqPrev.wqNext = t.wqNext
+	} else {
+		q.head = t.wqNext
+	}
+	if t.wqNext != nil {
+		t.wqNext.wqPrev = t.wqPrev
+	} else {
+		q.tail = t.wqPrev
+	}
+	t.wq, t.wqPrev, t.wqNext = nil, nil, nil
+	q.n--
+}
+
+func (q *WaitQueue) pop() *Task {
+	t := q.head
+	if t == nil {
+		return nil
+	}
+	q.unlink(t)
 	return t
 }
 
 func (q *WaitQueue) remove(t *Task) bool {
-	for i, x := range q.tasks {
-		if x == t {
-			// Unlink via removeAt so the vacated tail slot is nil'd: the
-			// plain append(q.tasks[:i], q.tasks[i+1:]...) form leaves the
-			// old tail pointer behind in the backing array, retaining the
-			// removed task until the slot is overwritten by a later push.
-			q.removeAt(i)
-			return true
-		}
+	if t.wq != q {
+		return false
 	}
-	return false
+	q.unlink(t)
+	return true
 }
 
 // WakeReason records why a blocked task resumed.
@@ -130,7 +152,7 @@ func (k *Kernel) block(t *Task, q *WaitQueue) WakeReason {
 	// through a different wait path before the timer fires.
 	t.waitSeq++
 	if q != nil {
-		q.tasks = append(q.tasks, t)
+		q.push(t)
 		t.blockedOn = q
 	}
 	c := t.core

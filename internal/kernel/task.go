@@ -102,6 +102,12 @@ type Task struct {
 	// allows signal delivery to interrupt sleeps.
 	blockedOn  *WaitQueue
 	wakeReason WakeReason
+	// Intrusive wait-queue links (see WaitQueue): wq is the queue the
+	// task is currently linked on (nil when not queued — unlike
+	// blockedOn, which stays set until makeRunnable), wqPrev/wqNext its
+	// FIFO neighbours.
+	wq             *WaitQueue
+	wqPrev, wqNext *Task
 	// waitSeq increments in block() on every blocking wait, whatever the
 	// path (futex, nanosleep, wait, join); a timed futex wait's timer
 	// captures the value of its own sleep so a stale timer can never wake

@@ -1,49 +1,78 @@
 package kernel
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
 )
 
-// retainsTask reports whether the wait queue still references t anywhere
-// in its backing storage, including vacated slots past the logical
-// length — the retention leak the remove() bugfix closes.
+// retainsTask reports whether the wait queue (or the task's own link
+// fields) still references t — the retention leak the remove() bugfix
+// closed on the old slice representation, and which the intrusive
+// representation must not reintroduce: unlinking clears wq/wqPrev/wqNext
+// and no surviving node may point at the departed task.
 func retainsTask(q *WaitQueue, t *Task) bool {
-	for _, x := range q.tasks[:cap(q.tasks)] {
-		if x == t {
+	if t.wq != nil || t.wqPrev != nil || t.wqNext != nil {
+		return true
+	}
+	for x := q.head; x != nil; x = x.wqNext {
+		if x == t || x.wqPrev == t || x.wqNext == t {
 			return true
 		}
 	}
 	return false
 }
 
-// TestWaitQueueRemoveNilsTailSlot pins the remove() unit behaviour: after
-// unlinking a waiter the vacated tail slot must not keep the old pointer
-// alive (pop and removeAt already nil it; remove used to forget to).
-func TestWaitQueueRemoveNilsTailSlot(t *testing.T) {
-	a, b, c := &Task{name: "a"}, &Task{name: "b"}, &Task{name: "c"}
-	q := &WaitQueue{}
-	for _, x := range []*Task{a, b, c} {
-		q.tasks = append(q.tasks, x)
+// TestWaitQueueFIFO pins the representation basics: push/pop preserve
+// FIFO order, Len tracks membership, and remove works at head, middle
+// and tail positions.
+func TestWaitQueueFIFO(t *testing.T) {
+	mk := func() (*WaitQueue, []*Task) {
+		q := &WaitQueue{}
+		ts := make([]*Task, 4)
+		for i := range ts {
+			ts[i] = &Task{name: fmt.Sprintf("t%d", i)}
+			q.push(ts[i])
+		}
+		return q, ts
 	}
-	if !q.remove(c) {
-		t.Fatal("remove(tail) reported not found")
+
+	q, ts := mk()
+	for i, want := range ts {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d = %v, want %v", i, got, want)
+		}
 	}
-	if retainsTask(q, c) {
-		t.Error("queue retains removed tail waiter in its backing array")
+	if q.pop() != nil || q.Len() != 0 {
+		t.Fatal("drained queue not empty")
 	}
-	if !q.remove(a) {
-		t.Fatal("remove(head) reported not found")
-	}
-	if retainsTask(q, a) {
-		t.Error("queue retains removed head waiter in its backing array")
-	}
-	if q.remove(a) {
-		t.Error("second remove of same task reported found")
-	}
-	if q.Len() != 1 || q.pop() != b {
-		t.Error("surviving waiter lost or reordered")
+
+	for victim := 0; victim < 4; victim++ {
+		q, ts := mk()
+		if !q.remove(ts[victim]) {
+			t.Fatalf("remove(%d) reported not found", victim)
+		}
+		if retainsTask(q, ts[victim]) {
+			t.Errorf("queue retains removed waiter %d", victim)
+		}
+		if q.remove(ts[victim]) {
+			t.Errorf("second remove(%d) reported found", victim)
+		}
+		var survivors []*Task
+		for x := q.pop(); x != nil; x = q.pop() {
+			survivors = append(survivors, x)
+		}
+		want := 0
+		for i, s := range ts {
+			if i == victim {
+				continue
+			}
+			if want >= len(survivors) || survivors[want] != s {
+				t.Fatalf("after remove(%d): survivors %v, want FIFO of the rest", victim, survivors)
+			}
+			want++
+		}
 	}
 }
 
@@ -107,5 +136,58 @@ func TestInterruptedWaiterNotRetained(t *testing.T) {
 	}
 	if n := k.ResidualFutexWaiters(); n != 0 {
 		t.Errorf("residual futex waiters = %d, want 0", n)
+	}
+}
+
+// runWakeAll performs one full push-then-drain cycle over the given
+// waiters per benchmark op (the WakeAll shape), using tasks allocated up
+// front so only the queue's own work is measured.
+func runWakeAll(b *testing.B, tasks []Task) {
+	q := &WaitQueue{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range tasks {
+			q.push(&tasks[j])
+		}
+		for q.pop() != nil {
+		}
+	}
+}
+
+func wakeAllCost(n int) testing.BenchmarkResult {
+	tasks := make([]Task, n)
+	return testing.Benchmark(func(b *testing.B) { runWakeAll(b, tasks) })
+}
+
+// BenchmarkWakeAll measures the queue-side cost of enqueueing and then
+// draining n waiters. With the old slice-backed representation each pop
+// copied the whole remaining slice, making the drain O(n²); the
+// intrusive list drains in O(n) with zero allocations.
+func BenchmarkWakeAll(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tasks := make([]Task, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { runWakeAll(b, tasks) })
+	}
+}
+
+// TestWakeAllLinearScaling is the quadratic-wake guard: per-waiter drain
+// cost at n=10k must stay within 3x of the cost at n=1k (the quadratic
+// representation was ~10x here), and the drain must not allocate.
+func TestWakeAllLinearScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based guard, skipped in -short")
+	}
+	small, big := wakeAllCost(1000), wakeAllCost(10000)
+	if small.AllocsPerOp() != 0 || big.AllocsPerOp() != 0 {
+		t.Errorf("wake path allocates: %d allocs/op at 1k, %d at 10k, want 0",
+			small.AllocsPerOp(), big.AllocsPerOp())
+	}
+	perSmall := float64(small.NsPerOp()) / 1000
+	perBig := float64(big.NsPerOp()) / 10000
+	t.Logf("per-waiter cost: %.2f ns at n=1k, %.2f ns at n=10k", perSmall, perBig)
+	if perBig > 3*perSmall {
+		t.Errorf("WakeAll scales super-linearly: %.2f ns/waiter at 10k vs %.2f at 1k (>3x)",
+			perBig, perSmall)
 	}
 }

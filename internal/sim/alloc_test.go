@@ -61,6 +61,30 @@ func TestUnparkZeroAllocs(t *testing.T) {
 	e.Shutdown()
 }
 
+func TestWaitQZeroAllocs(t *testing.T) {
+	e := New()
+	var q1, q2 WaitQ
+	e.Spawn("a", func(p *Proc) {
+		for {
+			q1.Wait(p)
+			q2.WakeOne(Microsecond)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for {
+			q1.WakeOne(Microsecond)
+			q2.Wait(p)
+		}
+	})
+	step := runChunks(e, 100*Microsecond)
+	step()
+	if got := testing.AllocsPerRun(50, step); got != 0 {
+		t.Errorf("WaitQ wait/wake ping-pong allocates %.1f per chunk, want 0", got)
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
 func TestAfterZeroAllocs(t *testing.T) {
 	e := New()
 	var tick func()

@@ -50,6 +50,12 @@ type Proc struct {
 	// path allocates nothing.
 	ev event
 
+	// Intrusive WaitQ links: wq is the queue the proc is currently
+	// parked on (nil when not queued), wqPrev/wqNext its FIFO
+	// neighbours. See WaitQ.
+	wq             *WaitQ
+	wqPrev, wqNext *Proc
+
 	// Stats.
 	wakeups  uint64
 	advanced Duration

@@ -3,29 +3,67 @@ package sim
 // WaitQ is a FIFO queue of parked procs — the building block for futexes,
 // semaphores and condition variables in the simulated kernel. Wakeups are
 // FIFO and deterministic.
+//
+// Like the engine's resume events, the queue is intrusive: the links are
+// embedded in the procs themselves (Proc.wqPrev/wqNext), so push, pop and
+// Remove are all O(1), waiting allocates nothing, and unlinking clears
+// the proc's link fields so a departed waiter is never retained. A proc
+// can wait on at most one queue at a time (Wait parks the caller), which
+// is what makes the embedded links sound.
 type WaitQ struct {
-	waiters []*Proc
+	head, tail *Proc
+	n          int
 }
 
 // Len reports the number of waiting procs.
-func (q *WaitQ) Len() int { return len(q.waiters) }
+func (q *WaitQ) Len() int { return q.n }
 
 // Wait parks the calling proc on the queue until woken.
 func (q *WaitQ) Wait(p *Proc) {
-	q.waiters = append(q.waiters, p)
+	q.enqueue(p)
 	p.Park()
+}
+
+// enqueue appends p, which must not currently be on any queue.
+func (q *WaitQ) enqueue(p *Proc) {
+	if p.wq != nil {
+		panic("sim: proc " + p.name + " waiting on a WaitQ while on another")
+	}
+	p.wq = q
+	p.wqPrev = q.tail
+	if q.tail != nil {
+		q.tail.wqNext = p
+	} else {
+		q.head = p
+	}
+	q.tail = p
+	q.n++
+}
+
+// unlink removes p, which must be on q, clearing its link fields.
+func (q *WaitQ) unlink(p *Proc) {
+	if p.wqPrev != nil {
+		p.wqPrev.wqNext = p.wqNext
+	} else {
+		q.head = p.wqNext
+	}
+	if p.wqNext != nil {
+		p.wqNext.wqPrev = p.wqPrev
+	} else {
+		q.tail = p.wqPrev
+	}
+	p.wq, p.wqPrev, p.wqNext = nil, nil, nil
+	q.n--
 }
 
 // WakeOne unparks the oldest waiter after delay d and reports whether a
 // waiter existed.
 func (q *WaitQ) WakeOne(d Duration) bool {
-	if len(q.waiters) == 0 {
+	p := q.head
+	if p == nil {
 		return false
 	}
-	p := q.waiters[0]
-	copy(q.waiters, q.waiters[1:])
-	q.waiters[len(q.waiters)-1] = nil
-	q.waiters = q.waiters[:len(q.waiters)-1]
+	q.unlink(p)
 	p.Unpark(d)
 	return true
 }
@@ -43,21 +81,15 @@ func (q *WaitQ) WakeN(n int, d Duration) int {
 // WakeAll unparks every waiter after delay d and reports how many were
 // woken.
 func (q *WaitQ) WakeAll(d Duration) int {
-	return q.WakeN(len(q.waiters), d)
+	return q.WakeN(q.n, d)
 }
 
 // Remove deletes a specific proc from the queue without waking it (used
 // for timeouts and signal interruption). Reports whether it was present.
 func (q *WaitQ) Remove(p *Proc) bool {
-	for i, w := range q.waiters {
-		if w == p {
-			// Shift and nil the vacated tail slot (like WakeOne) so the
-			// backing array does not retain the removed proc.
-			copy(q.waiters[i:], q.waiters[i+1:])
-			q.waiters[len(q.waiters)-1] = nil
-			q.waiters = q.waiters[:len(q.waiters)-1]
-			return true
-		}
+	if p.wq != q {
+		return false
 	}
-	return false
+	q.unlink(p)
+	return true
 }

@@ -100,38 +100,44 @@ func TestWaitQRemove(t *testing.T) {
 	}
 }
 
-// retainsProc reports whether the queue's backing storage still
-// references p anywhere, including vacated slots past the logical
-// length — the retention leak the Remove fix closes.
+// retainsProc reports whether the queue (or the proc's own link fields)
+// still references p — the retention leak the Remove fix closed on the
+// old slice representation, and which the intrusive representation must
+// not reintroduce: unlinking clears wq/wqPrev/wqNext and no surviving
+// node may point at the departed proc.
 func retainsProc(q *WaitQ, p *Proc) bool {
-	for _, w := range q.waiters[:cap(q.waiters)] {
-		if w == p {
+	if p.wq != nil || p.wqPrev != nil || p.wqNext != nil {
+		return true
+	}
+	for w := q.head; w != nil; w = w.wqNext {
+		if w == p || w.wqPrev == p || w.wqNext == p {
 			return true
 		}
 	}
 	return false
 }
 
-// TestWaitQRemoveDoesNotRetainProc pins the Remove retention fix: after
-// unlinking a waiter, the vacated tail slot must not keep the old
-// pointer alive (WakeOne already nils it; Remove used to forget to).
+// TestWaitQRemoveDoesNotRetainProc pins the Remove retention fix: a
+// removed waiter must leave no reference behind, at any queue position.
 func TestWaitQRemoveDoesNotRetainProc(t *testing.T) {
 	a, b, c := &Proc{name: "a"}, &Proc{name: "b"}, &Proc{name: "c"}
 	var q WaitQ
-	q.waiters = append(q.waiters, a, b, c)
+	for _, p := range []*Proc{a, b, c} {
+		q.enqueue(p)
+	}
 	if !q.Remove(c) {
 		t.Fatal("Remove(tail) reported not found")
 	}
 	if retainsProc(&q, c) {
-		t.Error("queue retains removed tail waiter in its backing array")
+		t.Error("queue retains removed tail waiter")
 	}
 	if !q.Remove(a) {
 		t.Fatal("Remove(head) reported not found")
 	}
 	if retainsProc(&q, a) {
-		t.Error("queue retains removed head waiter in its backing array")
+		t.Error("queue retains removed head waiter")
 	}
-	if q.Len() != 1 || q.waiters[0] != b {
+	if q.Len() != 1 || q.head != b {
 		t.Error("surviving waiter lost or reordered")
 	}
 }
