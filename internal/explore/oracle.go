@@ -40,6 +40,9 @@ func CheckFutexConservation(k *kernel.Kernel) error {
 	if n := k.ResidualFutexWaiters(); n != 0 {
 		return fmt.Errorf("futex waiters left asleep at quiescence: %d", n)
 	}
+	if n := k.FutexTableSize(); n != 0 {
+		return fmt.Errorf("futex table retains %d drained queues at quiescence", n)
+	}
 	return nil
 }
 

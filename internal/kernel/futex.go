@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -15,21 +16,46 @@ type futexKey struct {
 	addr  uint64
 }
 
+// futexTable maps futex words to their wait queues. Entries exist only
+// while at least one task sleeps on the word: the queue's unlink drops
+// the entry when the last waiter leaves (wake, timeout or interrupt),
+// so a long-lived machine does not leak one table entry per futex word
+// ever touched.
 type futexTable struct {
 	queues map[futexKey]*WaitQueue
+	size   *metrics.Gauge // table-size gauge, nil without a registry
 }
 
 func newFutexTable() *futexTable {
 	return &futexTable{queues: make(map[futexKey]*WaitQueue)}
 }
 
+// queue returns the wait queue for k, creating the table entry if the
+// word has no waiters yet. Only the wait path creates entries.
 func (ft *futexTable) queue(k futexKey) *WaitQueue {
 	q := ft.queues[k]
 	if q == nil {
-		q = &WaitQueue{}
+		q = &WaitQueue{ft: ft, key: k}
 		ft.queues[k] = q
+		if ft.size != nil {
+			ft.size.Set(int64(len(ft.queues)))
+		}
 	}
 	return q
+}
+
+// lookup returns the wait queue for k without creating an entry (nil
+// when nothing sleeps on the word) — the wake path must not populate
+// the table.
+func (ft *futexTable) lookup(k futexKey) *WaitQueue { return ft.queues[k] }
+
+// drop deletes a drained queue's table entry (called from unlink when
+// the last waiter leaves).
+func (ft *futexTable) drop(k futexKey) {
+	delete(ft.queues, k)
+	if ft.size != nil {
+		ft.size.Set(int64(len(ft.queues)))
+	}
 }
 
 // FutexWait implements futex(FUTEX_WAIT): if the 64-bit word at addr in
@@ -135,33 +161,38 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	}
 	t.Charge(k.machine.Costs.FutexWakeCall)
 	key := futexKey{t.space.ID, addr}
-	q := k.futexes.queue(key)
 	claimed, delivered := 0, 0
+	// The wake path looks the queue up without creating it: waking a
+	// word nobody sleeps on must not populate the futex table.
+	//
 	// w walks the queue in FIFO order: a dropped wake consumes its slot
 	// but must advance past the doomed waiter (which stays queued),
 	// otherwise one waiter whose fault stream keeps firing absorbs every
 	// slot and starves the rest. The successor is captured before
-	// unlinking because unlink clears the links.
-	for w := q.head; claimed < n && w != nil; {
-		next := w.wqNext
-		if k.faults != nil && k.faults.FutexDropWake(w, addr) {
-			// Lost wakeup: silently drop the wake destined for this
-			// waiter. The waker proceeds believing it woke someone; the
-			// waiter stays asleep until a retry, timeout or later wake.
-			k.fxStats.Lost++
-			if k.mFutex.lost != nil {
-				k.mFutex.lost.Inc()
+	// unlinking because unlink clears the links (and may drop the
+	// drained queue's table entry).
+	if q := k.futexes.lookup(key); q != nil {
+		for w := q.head; claimed < n && w != nil; {
+			next := w.wqNext
+			if k.faults != nil && k.faults.FutexDropWake(w, addr) {
+				// Lost wakeup: silently drop the wake destined for this
+				// waiter. The waker proceeds believing it woke someone; the
+				// waiter stays asleep until a retry, timeout or later wake.
+				k.fxStats.Lost++
+				if k.mFutex.lost != nil {
+					k.mFutex.lost.Inc()
+				}
+				k.emit(t, "fault", "futex lost wake addr=%#x", addr)
+				claimed++
+				w = next
+				continue
 			}
-			k.emit(t, "fault", "futex lost wake addr=%#x", addr)
+			q.unlink(w)
+			k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
 			claimed++
+			delivered++
 			w = next
-			continue
 		}
-		q.unlink(w)
-		k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
-		claimed++
-		delivered++
-		w = next
 	}
 	k.fxStats.Claimed += uint64(claimed)
 	k.fxStats.Delivered += uint64(delivered)
@@ -175,12 +206,17 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 // FutexWaiters reports how many tasks sleep on the given word (for tests
 // and diagnostics).
 func (k *Kernel) FutexWaiters(space uint64, addr uint64) int {
-	q := k.futexes.queues[futexKey{space, addr}]
+	q := k.futexes.lookup(futexKey{space, addr})
 	if q == nil {
 		return 0
 	}
 	return q.Len()
 }
+
+// FutexTableSize reports the number of live futex-table entries — words
+// with at least one sleeper. Hygiene invariant: the table holds no
+// drained queues, so this returns 0 at clean quiescence.
+func (k *Kernel) FutexTableSize() int { return len(k.futexes.queues) }
 
 // Semaphore is a counting semaphore over a futex word, mirroring the
 // glibc sem_t used by the paper's BLOCKING evaluation. The word lives in

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestFutexTableHygieneSoak churns waits over many distinct futex words,
+// draining queues through all three exit paths — delivered wake, timeout
+// and signal interrupt — and asserts the futex table retains no drained
+// queues: non-empty while sleepers exist, empty again at quiescence,
+// with the table-size gauge agreeing.
+func TestFutexTableHygieneSoak(t *testing.T) {
+	e, k := newKernel()
+	reg := metrics.NewRegistry()
+	k.SetMetrics(reg)
+	space := k.NewAddressSpace()
+
+	const rounds = 16
+	var wakeErrs, timeoutErrs, intrErrs []error
+	sawPopulated := false
+	driver := k.NewTask("driver", space, func(task *Task) int {
+		for r := 0; r < rounds; r++ {
+			// Wake path: a waiter on a fresh word, drained by FutexWake.
+			wAddr, err := space.Mmap(8, semProt, "wake-word", true, nil)
+			if err != nil {
+				t.Error(err)
+				return 1
+			}
+			waiter := k.NewTask(fmt.Sprintf("w%d", r), space, func(task *Task) int {
+				wakeErrs = append(wakeErrs, task.FutexWait(wAddr, 0))
+				return 0
+			})
+			waiter.SetAffinity(1)
+			k.Start(waiter, 0)
+
+			// Timeout path: nobody ever wakes this word.
+			tAddr, err := space.Mmap(8, semProt, "timeout-word", true, nil)
+			if err != nil {
+				t.Error(err)
+				return 1
+			}
+			timeouter := k.NewTask(fmt.Sprintf("to%d", r), space, func(task *Task) int {
+				timeoutErrs = append(timeoutErrs, task.FutexWaitTimeout(tAddr, 0, 5*sim.Microsecond))
+				return 0
+			})
+			timeouter.SetAffinity(2)
+			k.Start(timeouter, 0)
+
+			// Interrupt path: the waiter is pulled out by a signal.
+			iAddr, err := space.Mmap(8, semProt, "intr-word", true, nil)
+			if err != nil {
+				t.Error(err)
+				return 1
+			}
+			victim := k.NewTask(fmt.Sprintf("iv%d", r), space, func(task *Task) int {
+				intrErrs = append(intrErrs, task.FutexWait(iAddr, 0))
+				return 0
+			})
+			victim.SetAffinity(3)
+			k.Start(victim, 0)
+
+			task.Nanosleep(10 * sim.Microsecond) // let all three block
+			if k.FutexTableSize() >= 2 {
+				sawPopulated = true
+			} else {
+				t.Errorf("round %d: table size %d with 3 sleepers, want >= 2", r, k.FutexTableSize())
+			}
+			task.FutexWake(wAddr, 1)
+			if err := task.Kill(victim.PID(), SIGUSR1); err != nil {
+				t.Errorf("round %d: kill: %v", r, err)
+			}
+			task.Nanosleep(20 * sim.Microsecond) // let the timeout fire too
+		}
+		// Waking a word with no sleepers must not create a table entry.
+		ghost, err := space.Mmap(8, semProt, "ghost-word", true, nil)
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		if n := task.FutexWake(ghost, 1); n != 0 {
+			t.Errorf("FutexWake on ghost word = %d, want 0", n)
+		}
+		return 0
+	})
+	driver.SetAffinity(0)
+	k.Start(driver, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	if !sawPopulated {
+		t.Error("table never observed populated mid-round")
+	}
+	for _, err := range wakeErrs {
+		if err != nil {
+			t.Errorf("woken waiter err = %v, want nil", err)
+		}
+	}
+	for _, err := range timeoutErrs {
+		if err != ErrTimedOut {
+			t.Errorf("timeout waiter err = %v, want ErrTimedOut", err)
+		}
+	}
+	for _, err := range intrErrs {
+		if err != ErrInterrupted {
+			t.Errorf("interrupted waiter err = %v, want ErrInterrupted", err)
+		}
+	}
+	if got := len(wakeErrs) + len(timeoutErrs) + len(intrErrs); got != 3*rounds {
+		t.Errorf("%d waits completed, want %d", got, 3*rounds)
+	}
+	if n := k.FutexTableSize(); n != 0 {
+		t.Errorf("futex table retains %d drained queues at quiescence, want 0", n)
+	}
+	if n := k.ResidualFutexWaiters(); n != 0 {
+		t.Errorf("residual futex waiters = %d, want 0", n)
+	}
+	g := reg.Gauge("kernel.futex.table_size")
+	if g.Value() != 0 {
+		t.Errorf("table_size gauge = %d at quiescence, want 0", g.Value())
+	}
+	if g.Max() < 2 {
+		t.Errorf("table_size gauge high-water = %d, want >= 2", g.Max())
+	}
+}

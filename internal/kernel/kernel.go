@@ -193,6 +193,7 @@ func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 		k.mFutex.waits, k.mFutex.wakes, k.mFutex.woken = nil, nil, nil
 		k.mFutex.lost, k.mFutex.spurious, k.mFutex.timeouts = nil, nil, nil
 		k.mTLS, k.mTLSCost, k.mSignals, k.mFaults = nil, nil, nil, nil
+		k.futexes.size = nil
 		return
 	}
 	k.mSysLat = make(map[string]*metrics.Histogram)
@@ -204,6 +205,9 @@ func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	k.mFutex.lost = reg.Counter("kernel.futex.lost_wakes")
 	k.mFutex.spurious = reg.Counter("kernel.futex.spurious")
 	k.mFutex.timeouts = reg.Counter("kernel.futex.timeouts")
+	// Live futex-table entries (words with sleepers); its Max is the
+	// high-water mark, and hygiene demands Value 0 at quiescence.
+	k.futexes.size = reg.Gauge("kernel.futex.table_size")
 	// TLS-switch cost attribution: the mechanism is a machine property
 	// (x86_64 arch_prctl syscall vs AArch64 user-mode tpidr_el0), so the
 	// counter name carries it (the Table III/IV ablation axis).

@@ -20,6 +20,12 @@ import (
 type WaitQueue struct {
 	head, tail *Task
 	n          int
+
+	// ft/key, when ft is non-nil, locate this queue's futex-table entry;
+	// unlink drops the entry when the last waiter leaves so the table
+	// never accumulates drained queues (see futexTable).
+	ft  *futexTable
+	key futexKey
 }
 
 // Len reports the number of blocked tasks.
@@ -55,6 +61,9 @@ func (q *WaitQueue) unlink(t *Task) {
 	}
 	t.wq, t.wqPrev, t.wqNext = nil, nil, nil
 	q.n--
+	if q.n == 0 && q.ft != nil {
+		q.ft.drop(q.key)
+	}
 }
 
 func (q *WaitQueue) pop() *Task {

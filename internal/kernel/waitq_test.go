@@ -108,7 +108,10 @@ func TestInterruptedWaiterNotRetained(t *testing.T) {
 		}
 		q := k.futexes.queues[futexKey{space.ID, addr}]
 		if q == nil {
-			t.Fatal("futex queue missing")
+			// t.Fatal would goexit off the proc goroutine and wedge the
+			// engine; report and bail out of the task body instead.
+			t.Error("futex queue missing")
+			return 1
 		}
 		if q.Len() != 2 {
 			t.Errorf("queue len = %d after interrupt, want 2", q.Len())
