@@ -10,9 +10,16 @@
 //	ulpbench -exp fig7 -parallel 8
 //	ulpbench -exp all -json
 //	ulpbench -exp ablate-idle
+//	ulpbench -scale -quick
 //
 // Experiments: table3, table4, table5, fig7, fig8 (the paper's §VI),
 // ablate-idle (A1), ablate-tls (A2), fig6-scenario (A5), all.
+//
+// -scale runs the wait-queue/futex scale suite (10k/100k-task
+// spawn/join, fan-in WakeAll, futex-table churn) instead of the paper
+// experiments; -quick shrinks it to CI size. It is deliberately not
+// part of -exp all: its wall-clock and allocation columns are
+// host-dependent, and -exp all output is diffed against baselines.
 //
 // -parallel N fans the experiment grids out over N workers (default
 // GOMAXPROCS); each job runs on its own Engine and results are collected
@@ -35,6 +42,8 @@ const jsonPath = "BENCH_ulpbench.json"
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
+	scale := flag.Bool("scale", false, "run the wait-queue/futex scale suite instead of -exp (see doc comment)")
+	quick := flag.Bool("quick", false, "with -scale: CI-sized workloads instead of the full 100k-task suite")
 	runs := flag.Int("runs", 3, "repetitions per measurement (minimum is reported)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiment sweeps (1 = serial)")
 	csvPrefix := flag.String("csv", "", "also write figure data as <prefix>-<fig>-<machine>.csv")
@@ -67,7 +76,12 @@ func main() {
 	if *jsonOut {
 		recs = new([]bench.Record)
 	}
-	if err := run(*exp, *csvPrefix, recs); err != nil {
+	if *scale {
+		if err := runScale(*quick, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+	} else if err := run(*exp, *csvPrefix, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "ulpbench:", err)
 		os.Exit(1)
 	}
@@ -83,6 +97,27 @@ func main() {
 		}
 		fmt.Println("benchmark records written to", jsonPath)
 	}
+}
+
+// runScale drives the scale suite serially over both machines (the
+// wall/alloc columns read process-global counters, so no sweep here).
+func runScale(quick bool, recs *[]bench.Record) error {
+	cfg := bench.FullScaleConfig()
+	if quick {
+		cfg = bench.QuickScaleConfig()
+	}
+	for _, m := range arch.Machines() {
+		r, err := bench.Scale(m, cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintScale(os.Stdout, r)
+		fmt.Println()
+		if recs != nil {
+			*recs = append(*recs, bench.ScaleRecords(r)...)
+		}
+	}
+	return nil
 }
 
 func run(exp, csvPrefix string, recs *[]bench.Record) error {

@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The scale suite stresses the paths that must stay cheap when the
+// simulated machine serves very large task counts: task create/exit/join
+// throughput, fan-in WakeAll over one futex word (the path that was
+// O(n²) with the slice-backed WaitQueue), and futex-table churn over
+// many distinct words (the path that used to leak one map entry per
+// word ever touched). Unlike the paper experiments it reports host-side
+// wall-clock and allocation cost alongside virtual time, because the
+// thing under test is the simulator's own data structures; those two
+// columns are machine-dependent and NOT byte-deterministic, which is why
+// the suite runs under its own `ulpbench -scale` flag rather than as
+// part of `-exp all` (whose output is diffed against baselines).
+
+// ScaleConfig sizes one scale-suite run.
+type ScaleConfig struct {
+	Label      string // printed with the suite header
+	SpawnJoin  []int  // task counts for the spawn/join throughput runs
+	FanIn      []int  // waiter counts for the fan-in WakeAll runs
+	ChurnWords int    // distinct futex words churned through the table
+}
+
+// FullScaleConfig is the 100k-task configuration the EXPERIMENTS.md
+// numbers come from.
+func FullScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Label:      "full",
+		SpawnJoin:  []int{10_000, 100_000},
+		FanIn:      []int{1_000, 10_000},
+		ChurnWords: 10_000,
+	}
+}
+
+// QuickScaleConfig is the CI-sized configuration behind -scale -quick.
+func QuickScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Label:      "quick",
+		SpawnJoin:  []int{1_000, 10_000},
+		FanIn:      []int{256, 2_048},
+		ChurnWords: 1_000,
+	}
+}
+
+// ScaleRow is one scale measurement: n operations of one series on a
+// fresh machine.
+type ScaleRow struct {
+	Series string
+	N      int
+
+	Virt   sim.Duration  // virtual time for all n ops (deterministic)
+	Wall   time.Duration // host wall-clock for the whole run
+	Allocs uint64        // host allocations for the whole run
+
+	// WakeWall is the host wall-clock of the FutexWake drain alone
+	// (fan-in series only) — the direct measure of the wake path's
+	// complexity, excluding spawn/join cost.
+	WakeWall time.Duration
+
+	TablePeak int // futex-table high-water during the run
+	TableEnd  int // futex-table size at quiescence (must be 0)
+}
+
+// VirtPerOp returns virtual nanoseconds per operation.
+func (r ScaleRow) VirtPerOp() float64 { return r.Virt.Nanoseconds() / float64(r.N) }
+
+// WallPerOp returns host nanoseconds per operation.
+func (r ScaleRow) WallPerOp() float64 { return float64(r.Wall.Nanoseconds()) / float64(r.N) }
+
+// AllocsPerOp returns host allocations per operation.
+func (r ScaleRow) AllocsPerOp() float64 { return float64(r.Allocs) / float64(r.N) }
+
+// ScaleResult is the suite on one machine.
+type ScaleResult struct {
+	Machine *arch.Machine
+	Config  ScaleConfig
+	Rows    []ScaleRow
+}
+
+// Scale runs the whole suite on machine m, repeating each row Runs
+// times per the package protocol: the host-side columns keep the
+// minimum (least-noise) run, and the virtual column doubles as a
+// determinism check — it must be identical across repeats. Callers
+// must not run machines concurrently — the wall/alloc columns read
+// process-global counters.
+func Scale(m *arch.Machine, cfg ScaleConfig) (ScaleResult, error) {
+	res := ScaleResult{Machine: m, Config: cfg}
+	add := func(f func() (ScaleRow, error)) error {
+		row, err := minRow(f)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+	for _, n := range cfg.SpawnJoin {
+		n := n
+		if err := add(func() (ScaleRow, error) { return scaleSpawnJoin(m, n) }); err != nil {
+			return res, err
+		}
+	}
+	for _, n := range cfg.FanIn {
+		n := n
+		if err := add(func() (ScaleRow, error) { return scaleFanIn(m, n) }); err != nil {
+			return res, err
+		}
+	}
+	if err := add(func() (ScaleRow, error) { return scaleChurn(m, cfg.ChurnWords) }); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// minRow repeats one scale row Runs times, keeping the minimum of each
+// host-side column and asserting the simulation-side columns repeat
+// exactly.
+func minRow(f func() (ScaleRow, error)) (ScaleRow, error) {
+	best, err := f()
+	if err != nil {
+		return best, err
+	}
+	for i := 1; i < Runs; i++ {
+		r, err := f()
+		if err != nil {
+			return best, err
+		}
+		if r.Virt != best.Virt || r.TablePeak != best.TablePeak || r.TableEnd != best.TableEnd {
+			return best, fmt.Errorf("%s n=%d: non-deterministic repeat (virt %v vs %v, table %d/%d vs %d/%d)",
+				best.Series, best.N, r.Virt, best.Virt, r.TablePeak, r.TableEnd, best.TablePeak, best.TableEnd)
+		}
+		if r.Wall < best.Wall {
+			best.Wall = r.Wall
+		}
+		if r.Allocs < best.Allocs {
+			best.Allocs = r.Allocs
+		}
+		if r.WakeWall > 0 && r.WakeWall < best.WakeWall {
+			best.WakeWall = r.WakeWall
+		}
+	}
+	return best, nil
+}
+
+// scaleRun wraps RunKernel with host-side wall-clock and allocation
+// accounting.
+func scaleRun(m *arch.Machine, body func(k *kernel.Kernel, root *kernel.Task)) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	err := RunKernel(m, body)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, err
+}
+
+// scaleSpawnJoin creates and joins n threads in waves, bounding the
+// number of live tasks (and run-queue depth) the way a thread pool
+// would, so the figure measures steady-state create/exit/join cost.
+func scaleSpawnJoin(m *arch.Machine, n int) (ScaleRow, error) {
+	row := ScaleRow{Series: "spawn-join", N: n}
+	var bodyErr error
+	wall, allocs, err := scaleRun(m, func(k *kernel.Kernel, root *kernel.Task) {
+		e := k.Engine()
+		const wave = 256
+		kids := make([]*kernel.Task, 0, wave)
+		t0 := e.Now()
+		for done := 0; done < n; {
+			b := min(wave, n-done)
+			kids = kids[:0]
+			for i := 0; i < b; i++ {
+				kids = append(kids, root.Clone("sj", kernel.PThreadFlags, func(t *kernel.Task) int { return 0 }))
+			}
+			for _, c := range kids {
+				if root.Join(c) != 0 {
+					bodyErr = fmt.Errorf("spawn-join: child exited non-zero")
+					return
+				}
+			}
+			done += b
+		}
+		row.Virt = e.Now().Sub(t0)
+		row.TableEnd = k.FutexTableSize()
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	row.Wall, row.Allocs = wall, allocs
+	return row, err
+}
+
+// scaleFanIn blocks n waiters on one futex word and wakes them with a
+// single FutexWake(n) — the WakeAll shape. WakeWall isolates the drain.
+func scaleFanIn(m *arch.Machine, n int) (ScaleRow, error) {
+	row := ScaleRow{Series: "fanin-wakeall", N: n}
+	var bodyErr error
+	wall, allocs, err := scaleRun(m, func(k *kernel.Kernel, root *kernel.Task) {
+		e := k.Engine()
+		space := root.Space()
+		addr, merr := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "fanin-word", true, nil)
+		if merr != nil {
+			bodyErr = merr
+			return
+		}
+		waiters := make([]*kernel.Task, n)
+		for i := range waiters {
+			waiters[i] = root.Clone("fw", kernel.PThreadFlags, func(t *kernel.Task) int {
+				if t.FutexWait(addr, 0) != nil {
+					return 1
+				}
+				return 0
+			})
+		}
+		for k.FutexWaiters(space.ID, addr) < n {
+			root.Nanosleep(10 * sim.Microsecond)
+		}
+		row.TablePeak = k.FutexTableSize()
+		t0 := e.Now()
+		w0 := time.Now()
+		if got := root.FutexWake(addr, n); got != n {
+			bodyErr = fmt.Errorf("fan-in: FutexWake woke %d of %d", got, n)
+			return
+		}
+		row.WakeWall = time.Since(w0)
+		for _, w := range waiters {
+			if root.Join(w) != 0 {
+				bodyErr = fmt.Errorf("fan-in: waiter exited non-zero")
+				return
+			}
+		}
+		row.Virt = e.Now().Sub(t0)
+		row.TableEnd = k.FutexTableSize()
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	row.Wall, row.Allocs = wall, allocs
+	return row, err
+}
+
+// scaleChurn sleeps and wakes one waiter on each of `words` distinct
+// futex words (batched), driving the futex table through create/drop
+// churn. TablePeak proves entries exist only while sleepers do;
+// TableEnd proves the table drains to empty rather than accumulating
+// one entry per word ever touched.
+func scaleChurn(m *arch.Machine, words int) (ScaleRow, error) {
+	row := ScaleRow{Series: "futex-churn", N: words}
+	var bodyErr error
+	wall, allocs, err := scaleRun(m, func(k *kernel.Kernel, root *kernel.Task) {
+		e := k.Engine()
+		space := root.Space()
+		base, merr := space.Mmap(uint64(8*words), mem.ProtRead|mem.ProtWrite, "churn-words", true, nil)
+		if merr != nil {
+			bodyErr = merr
+			return
+		}
+		const batch = 64
+		waiters := make([]*kernel.Task, 0, batch)
+		t0 := e.Now()
+		for done := 0; done < words; {
+			b := min(batch, words-done)
+			waiters = waiters[:0]
+			for i := 0; i < b; i++ {
+				addr := base + uint64(8*(done+i))
+				waiters = append(waiters, root.Clone("cw", kernel.PThreadFlags, func(t *kernel.Task) int {
+					if t.FutexWait(addr, 0) != nil {
+						return 1
+					}
+					return 0
+				}))
+			}
+			// The previous batch fully drained, so the table holds
+			// exactly this batch's words once everyone is asleep.
+			for k.FutexTableSize() < b {
+				root.Nanosleep(10 * sim.Microsecond)
+			}
+			if k.FutexTableSize() > row.TablePeak {
+				row.TablePeak = k.FutexTableSize()
+			}
+			for i := 0; i < b; i++ {
+				if got := root.FutexWake(base+uint64(8*(done+i)), 1); got != 1 {
+					bodyErr = fmt.Errorf("churn: FutexWake woke %d of 1", got)
+					return
+				}
+			}
+			for _, w := range waiters {
+				if root.Join(w) != 0 {
+					bodyErr = fmt.Errorf("churn: waiter exited non-zero")
+					return
+				}
+			}
+			done += b
+		}
+		row.Virt = e.Now().Sub(t0)
+		row.TableEnd = k.FutexTableSize()
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	row.Wall, row.Allocs = wall, allocs
+	return row, err
+}
+
+// PrintScale renders one machine's suite. Virtual time is
+// deterministic; wall and allocs are host-dependent.
+func PrintScale(w io.Writer, r ScaleResult) {
+	fmt.Fprintf(w, "Scale suite (%s) — %s (%s)\n", r.Config.Label, r.Machine.Name, r.Machine.Arch)
+	fmt.Fprintf(w, "  %-14s %8s %12s %12s %10s %12s %6s\n",
+		"series", "n", "virt/op", "wall/op", "allocs/op", "wake-wall/op", "table")
+	for _, row := range r.Rows {
+		wakeCol := "-"
+		if row.WakeWall > 0 {
+			wakeCol = fmt.Sprintf("%.0f ns", float64(row.WakeWall.Nanoseconds())/float64(row.N))
+		}
+		fmt.Fprintf(w, "  %-14s %8d %9.0f ns %9.0f ns %10.1f %12s %3d/%d\n",
+			row.Series, row.N, row.VirtPerOp(), row.WallPerOp(), row.AllocsPerOp(),
+			wakeCol, row.TablePeak, row.TableEnd)
+	}
+	for _, s := range []string{"spawn-join", "fanin-wakeall"} {
+		small, big, ok := seriesExtremes(r.Rows, s)
+		if !ok {
+			continue
+		}
+		per := func(row ScaleRow) float64 {
+			if s == "fanin-wakeall" && row.WakeWall > 0 {
+				return float64(row.WakeWall.Nanoseconds()) / float64(row.N)
+			}
+			return row.WallPerOp()
+		}
+		if per(small) > 0 {
+			fmt.Fprintf(w, "  %s per-op growth %d→%d: %.2fx\n", s, small.N, big.N, per(big)/per(small))
+		}
+	}
+}
+
+// seriesExtremes returns the smallest- and largest-n rows of a series.
+func seriesExtremes(rows []ScaleRow, series string) (small, big ScaleRow, ok bool) {
+	n := 0
+	for _, r := range rows {
+		if r.Series != series {
+			continue
+		}
+		if n == 0 || r.N < small.N {
+			small = r
+		}
+		if n == 0 || r.N > big.N {
+			big = r
+		}
+		n++
+	}
+	return small, big, n >= 2
+}
+
+// ScaleRecords flattens a suite result into JSON records: virtual ns
+// per op in Ns, rounded host allocations per op in Allocs.
+func ScaleRecords(r ScaleResult) []Record {
+	var recs []Record
+	for _, row := range r.Rows {
+		recs = append(recs, Record{
+			Experiment: "scale", Machine: r.Machine.Name, Series: row.Series,
+			Size: row.N, Ns: row.VirtPerOp(), Allocs: uint64(row.AllocsPerOp() + 0.5),
+		})
+	}
+	return recs
+}
