@@ -15,10 +15,12 @@
 // Experiments: table3, table4, table5, fig7, fig8 (the paper's §VI),
 // ablate-idle (A1), ablate-tls (A2), fig6-scenario (A5), all.
 //
-// -scale runs the wait-queue/futex scale suite (10k/100k-task
-// spawn/join, fan-in WakeAll, futex-table churn) instead of the paper
-// experiments; -quick shrinks it to CI size. It is deliberately not
-// part of -exp all: its wall-clock and allocation columns are
+// -scale runs the wait-queue/futex scale suite (spawn/join and fan-in
+// WakeAll up to a million tasks, futex-table churn) instead of the
+// paper experiments; -quick shrinks it to CI size (keeping one 1M
+// spawn/join row). With -json it writes BENCH_scale.json rather than
+// the -exp records file. It is deliberately not part of -exp all: its
+// wall-clock, allocation and memory-footprint columns are
 // host-dependent, and -exp all output is diffed against baselines.
 //
 // -parallel N fans the experiment grids out over N workers (default
@@ -38,7 +40,12 @@ import (
 	"repro/internal/metrics"
 )
 
-const jsonPath = "BENCH_ulpbench.json"
+const (
+	jsonPath = "BENCH_ulpbench.json"
+	// The scale suite writes its own snapshot: its rows are host-coloured
+	// (wall, allocs, bytes per task) and must not churn the -exp records.
+	scaleJSONPath = "BENCH_scale.json"
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
@@ -91,11 +98,15 @@ func main() {
 				*recs = append(*recs, bench.Record{Experiment: "metrics", Series: s.Name, Ns: s.Value})
 			}
 		}
-		if err := bench.WriteRecordsJSON(jsonPath, *recs); err != nil {
+		path := jsonPath
+		if *scale {
+			path = scaleJSONPath
+		}
+		if err := bench.WriteRecordsJSON(path, *recs); err != nil {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
 			os.Exit(1)
 		}
-		fmt.Println("benchmark records written to", jsonPath)
+		fmt.Println("benchmark records written to", path)
 	}
 }
 

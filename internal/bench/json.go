@@ -20,6 +20,11 @@ type Record struct {
 	Size       int     `json:"size,omitempty"`
 	Ns         float64 `json:"ns"`
 	Allocs     uint64  `json:"allocs,omitempty"`
+
+	// Scale-suite memory columns (fan-in rows only): allocations during
+	// the FutexWake drain and retained bytes per idle blocked task.
+	WakeAllocs   uint64  `json:"wake_allocs,omitempty"`
+	BytesPerTask float64 `json:"bytes_per_task,omitempty"`
 }
 
 // WriteRecordsJSON writes records as an indented JSON array to path.

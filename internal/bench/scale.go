@@ -32,22 +32,27 @@ type ScaleConfig struct {
 	ChurnWords int    // distinct futex words churned through the table
 }
 
-// FullScaleConfig is the 100k-task configuration the EXPERIMENTS.md
-// numbers come from.
+// FullScaleConfig is the million-task configuration the EXPERIMENTS.md
+// numbers come from. The 1M rows are the machine's design point: the
+// per-op virtual cost must stay within ~1.5x of the 100k row, or some
+// structure on the spawn/block/wake path has regressed to O(n).
 func FullScaleConfig() ScaleConfig {
 	return ScaleConfig{
 		Label:      "full",
-		SpawnJoin:  []int{10_000, 100_000},
-		FanIn:      []int{1_000, 10_000},
+		SpawnJoin:  []int{10_000, 100_000, 1_000_000},
+		FanIn:      []int{1_000, 10_000, 100_000, 1_000_000},
 		ChurnWords: 10_000,
 	}
 }
 
 // QuickScaleConfig is the CI-sized configuration behind -scale -quick.
+// It keeps one 1M spawn/join row — cheap in waves of 256, and the only
+// smoke that exercises million-task counts on every push — while the
+// million-waiter fan-in stays in the full suite.
 func QuickScaleConfig() ScaleConfig {
 	return ScaleConfig{
 		Label:      "quick",
-		SpawnJoin:  []int{1_000, 10_000},
+		SpawnJoin:  []int{1_000, 10_000, 1_000_000},
 		FanIn:      []int{256, 2_048},
 		ChurnWords: 1_000,
 	}
@@ -68,6 +73,18 @@ type ScaleRow struct {
 	// complexity, excluding spawn/join cost.
 	WakeWall time.Duration
 
+	// WakeAllocs counts host allocations during that drain. The wake
+	// path is steady-state allocation-free: the only allocations here
+	// are the run-queue rings and event heap doubling up to n — O(log n)
+	// allocations total, so the per-op figure rounds to zero.
+	WakeAllocs uint64
+
+	// IdleBytes is the retained heap+stack footprint of the n blocked
+	// waiters (fan-in series only), measured across a forced GC while
+	// everyone sleeps. IdleBytes/n is the bytes-per-idle-task figure —
+	// the column that makes per-task footprint regressions diffable.
+	IdleBytes uint64
+
 	TablePeak int // futex-table high-water during the run
 	TableEnd  int // futex-table size at quiescence (must be 0)
 }
@@ -80,6 +97,9 @@ func (r ScaleRow) WallPerOp() float64 { return float64(r.Wall.Nanoseconds()) / f
 
 // AllocsPerOp returns host allocations per operation.
 func (r ScaleRow) AllocsPerOp() float64 { return float64(r.Allocs) / float64(r.N) }
+
+// BytesPerTask returns the idle memory footprint per blocked task.
+func (r ScaleRow) BytesPerTask() float64 { return float64(r.IdleBytes) / float64(r.N) }
 
 // ScaleResult is the suite on one machine.
 type ScaleResult struct {
@@ -148,6 +168,14 @@ func minRow(f func() (ScaleRow, error)) (ScaleRow, error) {
 		if r.WakeWall > 0 && r.WakeWall < best.WakeWall {
 			best.WakeWall = r.WakeWall
 		}
+		if r.WakeAllocs < best.WakeAllocs {
+			best.WakeAllocs = r.WakeAllocs
+		}
+		// Zero means "not measured" (GC-floor noise swallowed a small
+		// delta), so prefer any positive repeat over it.
+		if r.IdleBytes > 0 && (best.IdleBytes == 0 || r.IdleBytes < best.IdleBytes) {
+			best.IdleBytes = r.IdleBytes
+		}
 	}
 	return best, nil
 }
@@ -199,8 +227,22 @@ func scaleSpawnJoin(m *arch.Machine, n int) (ScaleRow, error) {
 	return row, err
 }
 
+// idleFootprint forces a collection and returns the retained heap plus
+// goroutine-stack footprint — the quantity whose delta across n blocked
+// waiters yields the bytes-per-idle-task column. The GC pause lands in
+// the row's Wall column (documented host-dependent), never in WakeWall
+// or the virtual column.
+func idleFootprint() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc + ms.StackInuse
+}
+
 // scaleFanIn blocks n waiters on one futex word and wakes them with a
-// single FutexWake(n) — the WakeAll shape. WakeWall isolates the drain.
+// single FutexWake(n) — the WakeAll shape. WakeWall isolates the drain,
+// WakeAllocs pins it allocation-free, and IdleBytes snapshots what the
+// n sleeping tasks cost the host while parked.
 func scaleFanIn(m *arch.Machine, n int) (ScaleRow, error) {
 	row := ScaleRow{Series: "fanin-wakeall", N: n}
 	var bodyErr error
@@ -212,6 +254,7 @@ func scaleFanIn(m *arch.Machine, n int) (ScaleRow, error) {
 			bodyErr = merr
 			return
 		}
+		m0 := idleFootprint()
 		waiters := make([]*kernel.Task, n)
 		for i := range waiters {
 			waiters[i] = root.Clone("fw", kernel.PThreadFlags, func(t *kernel.Task) int {
@@ -224,7 +267,14 @@ func scaleFanIn(m *arch.Machine, n int) (ScaleRow, error) {
 		for k.FutexWaiters(space.ID, addr) < n {
 			root.Nanosleep(10 * sim.Microsecond)
 		}
+		// Everyone is asleep: the footprint delta over the pre-spawn
+		// baseline is what n idle tasks cost the host.
+		if m1 := idleFootprint(); m1 > m0 {
+			row.IdleBytes = m1 - m0
+		}
 		row.TablePeak = k.FutexTableSize()
+		var mw0, mw1 runtime.MemStats
+		runtime.ReadMemStats(&mw0)
 		t0 := e.Now()
 		w0 := time.Now()
 		if got := root.FutexWake(addr, n); got != n {
@@ -232,6 +282,8 @@ func scaleFanIn(m *arch.Machine, n int) (ScaleRow, error) {
 			return
 		}
 		row.WakeWall = time.Since(w0)
+		runtime.ReadMemStats(&mw1)
+		row.WakeAllocs = mw1.Mallocs - mw0.Mallocs
 		for _, w := range waiters {
 			if root.Join(w) != 0 {
 				bodyErr = fmt.Errorf("fan-in: waiter exited non-zero")
@@ -315,16 +367,20 @@ func scaleChurn(m *arch.Machine, words int) (ScaleRow, error) {
 // deterministic; wall and allocs are host-dependent.
 func PrintScale(w io.Writer, r ScaleResult) {
 	fmt.Fprintf(w, "Scale suite (%s) — %s (%s)\n", r.Config.Label, r.Machine.Name, r.Machine.Arch)
-	fmt.Fprintf(w, "  %-14s %8s %12s %12s %10s %12s %6s\n",
-		"series", "n", "virt/op", "wall/op", "allocs/op", "wake-wall/op", "table")
+	fmt.Fprintf(w, "  %-14s %8s %12s %12s %10s %12s %11s %11s %6s\n",
+		"series", "n", "virt/op", "wall/op", "allocs/op", "wake-wall/op", "wake-allocs", "idle-B/task", "table")
 	for _, row := range r.Rows {
-		wakeCol := "-"
+		wakeCol, wakeAllocCol, idleCol := "-", "-", "-"
 		if row.WakeWall > 0 {
 			wakeCol = fmt.Sprintf("%.0f ns", float64(row.WakeWall.Nanoseconds())/float64(row.N))
+			wakeAllocCol = fmt.Sprintf("%d", row.WakeAllocs)
 		}
-		fmt.Fprintf(w, "  %-14s %8d %9.0f ns %9.0f ns %10.1f %12s %3d/%d\n",
+		if row.IdleBytes > 0 {
+			idleCol = fmt.Sprintf("%.0f", row.BytesPerTask())
+		}
+		fmt.Fprintf(w, "  %-14s %8d %9.0f ns %9.0f ns %10.1f %12s %11s %11s %3d/%d\n",
 			row.Series, row.N, row.VirtPerOp(), row.WallPerOp(), row.AllocsPerOp(),
-			wakeCol, row.TablePeak, row.TableEnd)
+			wakeCol, wakeAllocCol, idleCol, row.TablePeak, row.TableEnd)
 	}
 	for _, s := range []string{"spawn-join", "fanin-wakeall"} {
 		small, big, ok := seriesExtremes(r.Rows, s)
@@ -362,13 +418,16 @@ func seriesExtremes(rows []ScaleRow, series string) (small, big ScaleRow, ok boo
 }
 
 // ScaleRecords flattens a suite result into JSON records: virtual ns
-// per op in Ns, rounded host allocations per op in Allocs.
+// per op in Ns, rounded host allocations per op in Allocs, and — for
+// the fan-in rows — drain allocations and bytes per idle task, so
+// per-task footprint regressions diff in the JSON output.
 func ScaleRecords(r ScaleResult) []Record {
 	var recs []Record
 	for _, row := range r.Rows {
 		recs = append(recs, Record{
 			Experiment: "scale", Machine: r.Machine.Name, Series: row.Series,
 			Size: row.N, Ns: row.VirtPerOp(), Allocs: uint64(row.AllocsPerOp() + 0.5),
+			WakeAllocs: row.WakeAllocs, BytesPerTask: row.BytesPerTask(),
 		})
 	}
 	return recs

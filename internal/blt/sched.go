@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/uctx"
 )
@@ -19,7 +20,10 @@ type Scheduler struct {
 	core int
 	task *kernel.Task
 
-	q    []*BLT
+	// q is the ready queue of decoupled UCs: a ring buffer, because the
+	// slice front-copy dequeue it replaces cost O(queue) per dispatch —
+	// quadratic over a deep backlog of runnable UCs.
+	q    ring.Q[*BLT]
 	slot idleSlot
 
 	// currentTLS tracks the TLS value the scheduler's KC register holds
@@ -55,7 +59,7 @@ func (s *Scheduler) Core() int { return s.core }
 func (s *Scheduler) Task() *kernel.Task { return s.task }
 
 // QueueLen reports the number of ready UCs.
-func (s *Scheduler) QueueLen() int { return len(s.q) }
+func (s *Scheduler) QueueLen() int { return s.q.Len() }
 
 // Dispatches reports how many UC switch-ins the scheduler performed.
 func (s *Scheduler) Dispatches() uint64 { return s.dispatches }
@@ -80,7 +84,7 @@ func (s *Scheduler) enqueue(b *BLT, from *kernel.Task) {
 		return
 	}
 	from.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
-	s.q = append(s.q, b)
+	s.q.Push(b)
 	if s.pool.cfg.WorkStealing {
 		for _, p := range s.pool.scheds {
 			p.slot.kick(from)
@@ -95,14 +99,7 @@ func (s *Scheduler) enqueue(b *BLT, from *kernel.Task) {
 // re-checked after the charge; nil means "lost the race".
 func (s *Scheduler) dequeue(t *kernel.Task) *BLT {
 	t.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
-	if len(s.q) == 0 {
-		return nil
-	}
-	b := s.q[0]
-	copy(s.q, s.q[1:])
-	s.q[len(s.q)-1] = nil
-	s.q = s.q[:len(s.q)-1]
-	return b
+	return s.q.Pop()
 }
 
 // loop is the scheduler's kernel-task body.
@@ -137,7 +134,7 @@ func (s *Scheduler) acquire(t *kernel.Task) *BLT {
 			s.die(t)
 			return nil
 		}
-		if len(s.q) > 0 {
+		if s.q.Len() > 0 {
 			if b := s.dequeue(t); b != nil {
 				return b
 			}
@@ -151,7 +148,7 @@ func (s *Scheduler) acquire(t *kernel.Task) *BLT {
 				return b
 			}
 		}
-		s.slot.wait(t, func() bool { return len(s.q) > 0 || s.pool.stopped || s.stealable() })
+		s.slot.wait(t, func() bool { return s.q.Len() > 0 || s.pool.stopped || s.stealable() })
 	}
 }
 
@@ -162,9 +159,9 @@ func (s *Scheduler) die(t *kernel.Task) {
 	s.dead = true
 	live := s.pool.nextLiveSched(s.index)
 	s.pool.emit(t, "fault", "sched_kill: sched%d dies, re-homing %d UCs to sched%d",
-		s.index, len(s.q), live.index)
-	s.pool.trace("sched%d: killed; re-homing %d UCs to sched%d", s.index, len(s.q), live.index)
-	for len(s.q) > 0 {
+		s.index, s.q.Len(), live.index)
+	s.pool.trace("sched%d: killed; re-homing %d UCs to sched%d", s.index, s.q.Len(), live.index)
+	for s.q.Len() > 0 {
 		b := s.dequeue(t)
 		if b == nil {
 			continue
@@ -180,7 +177,7 @@ func (s *Scheduler) stealable() bool {
 		return false
 	}
 	for _, p := range s.pool.scheds {
-		if p != s && len(p.q) > 0 {
+		if p != s && p.q.Len() > 0 {
 			return true
 		}
 	}
@@ -196,16 +193,14 @@ func (s *Scheduler) steal(t *kernel.Task) *BLT {
 	n := len(s.pool.scheds)
 	for i := 1; i < n; i++ {
 		p := s.pool.scheds[(s.index+i)%n]
-		if len(p.q) == 0 {
+		if p.q.Len() == 0 {
 			continue
 		}
 		t.Charge(costs.AtomicOp + 2*costs.RunQueueOp)
-		if len(p.q) == 0 {
+		if p.q.Len() == 0 {
 			continue // the victim (or another thief) won the race
 		}
-		b := p.q[len(p.q)-1]
-		p.q[len(p.q)-1] = nil
-		p.q = p.q[:len(p.q)-1]
+		b := p.q.PopTail()
 		s.steals++
 		if s.pool.mSteals != nil {
 			s.pool.mSteals.Inc()
@@ -268,7 +263,7 @@ func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
 		// otherwise empty the same UC runs again immediately (the
 		// sched_yield-alone analogue at user level).
 		t.Charge(costs.RunQueueOp)
-		s.q = append(s.q, b)
+		s.q.Push(b)
 	case tagCoupling:
 		// Sync point 1 of Table I: publish that the UC context is
 		// saved so the original KC may load it. The scheduler then

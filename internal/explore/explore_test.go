@@ -176,6 +176,45 @@ func TestTraceStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStockScenarioDigestDeterminism pins schedule-digest determinism
+// over every stock scenario: the recorded decision trace — the
+// explorer's digest of one execution — must be identical across repeated
+// runs of the same schedule, and a same-seed random exploration must
+// reproduce the same aggregate result. The engine's timer plumbing
+// (heap, deferred slot and timing wheel) sits under every one of these
+// schedules, so any tie-order drift there surfaces here as a digest
+// mismatch.
+func TestStockScenarioDigestDeterminism(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		s, err := ByName(name, arch.Wallaby, blt.BusyWait)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		ds1, err1 := Replay(s, nil)
+		ds2, err2 := Replay(s, nil)
+		if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+			t.Errorf("%s: replay errors differ: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(ds1, ds2) {
+			t.Errorf("%s: default-schedule decision digests differ:\n  %v\n  %v", name, ds1, ds2)
+		}
+		if len(ds1) == 0 {
+			t.Errorf("%s: no decision points recorded — the scenario pins nothing", name)
+		}
+
+		r1 := Explore(s, Config{Policy: RandomWalk, Runs: 4, Seed: 0xd16e57})
+		r2 := Explore(s, Config{Policy: RandomWalk, Runs: 4, Seed: 0xd16e57})
+		if r1.Runs != r2.Runs || r1.Decisions != r2.Decisions || r1.MaxWidth != r2.MaxWidth {
+			t.Errorf("%s: same-seed explorations diverge: %+v vs %+v", name, r1, r2)
+		}
+		if (r1.Failure == nil) != (r2.Failure == nil) {
+			t.Errorf("%s: same-seed explorations disagree on failure", name)
+		} else if r1.Failure != nil && !reflect.DeepEqual(r1.Failure.Trace, r2.Failure.Trace) {
+			t.Errorf("%s: same-seed failing traces differ: %v vs %v", name, r1.Failure.Trace, r2.Failure.Trace)
+		}
+	}
+}
+
 func TestByNameRejectsUnknown(t *testing.T) {
 	if _, err := ByName("nope", arch.Wallaby, blt.BusyWait); err == nil {
 		t.Error("ByName accepted an unknown scenario")

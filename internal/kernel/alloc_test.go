@@ -15,8 +15,9 @@ import (
 // alloc tests in internal/sim.
 //
 // The workload is a single resident task spinning on getpid: it never
-// blocks, so the run avoids the dispatch path (whose engine.After closure
-// legitimately allocates) and measures only the per-syscall cost.
+// blocks, so the run measures only the per-syscall cost. (The dispatch
+// path no longer allocates either — its accounting callback is prebuilt
+// per core — but keeping it out of the loop keeps the pin single-cause.)
 
 func syscallSpinner(reg *metrics.Registry) (*sim.Engine, func()) {
 	e := sim.New()

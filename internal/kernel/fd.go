@@ -7,9 +7,16 @@ import "repro/internal/fs"
 // is exactly the per-process kernel state whose consistency the ULP layer
 // must preserve: "the opened file descriptor is only valid if the KC
 // calling open() and the KC calling read() are the same".
+//
+// The table is a dense slice indexed by descriptor plus a min-heap of
+// released descriptors: Alloc still hands out the lowest free fd (the
+// POSIX rule the map-scan implementation enforced by walking from 3
+// upward — O(open fds) per allocation), but in O(log holes), and Get is
+// an array index.
 type FDTable struct {
-	files map[int]*fs.File
-	next  int
+	files []*fs.File // index fd-firstUserFD; nil = closed
+	free  []int      // min-heap of released descriptors below len(files)
+	n     int        // open descriptors
 }
 
 // firstUserFD is the lowest fd handed out (0-2 are reserved for the
@@ -17,49 +24,101 @@ type FDTable struct {
 const firstUserFD = 3
 
 // NewFDTable creates an empty descriptor table.
-func NewFDTable() *FDTable {
-	return &FDTable{files: make(map[int]*fs.File), next: firstUserFD}
-}
+func NewFDTable() *FDTable { return &FDTable{} }
 
 // Alloc installs a file at the lowest free descriptor and returns it.
+// Every released descriptor is below the slice's append boundary, so the
+// heap minimum — when one exists — is the lowest free fd overall.
 func (ft *FDTable) Alloc(f *fs.File) int {
-	fd := firstUserFD
-	for ft.files[fd] != nil {
-		fd++
+	ft.n++
+	if len(ft.free) > 0 {
+		fd := ft.popFree()
+		ft.files[fd-firstUserFD] = f
+		return fd
 	}
-	ft.files[fd] = f
-	return fd
+	ft.files = append(ft.files, f)
+	return firstUserFD + len(ft.files) - 1
 }
 
 // Get resolves a descriptor.
 func (ft *FDTable) Get(fd int) (*fs.File, error) {
-	f := ft.files[fd]
-	if f == nil {
+	i := fd - firstUserFD
+	if i < 0 || i >= len(ft.files) || ft.files[i] == nil {
 		return nil, ErrBadFD
 	}
-	return f, nil
+	return ft.files[i], nil
 }
 
 // Remove releases a descriptor, returning the file (the caller closes
 // it).
 func (ft *FDTable) Remove(fd int) (*fs.File, error) {
-	f := ft.files[fd]
-	if f == nil {
+	i := fd - firstUserFD
+	if i < 0 || i >= len(ft.files) || ft.files[i] == nil {
 		return nil, ErrBadFD
 	}
-	delete(ft.files, fd)
+	f := ft.files[i]
+	ft.files[i] = nil
+	ft.n--
+	ft.pushFree(fd)
 	return f, nil
 }
 
 // Copy duplicates the table (fork-style: same open descriptions, new
-// table).
+// table). Descriptor numbers are preserved exactly.
 func (ft *FDTable) Copy() *FDTable {
-	cp := NewFDTable()
-	for fd, f := range ft.files {
-		cp.files[fd] = f
+	cp := &FDTable{n: ft.n}
+	if len(ft.files) > 0 {
+		cp.files = append([]*fs.File(nil), ft.files...)
+	}
+	if len(ft.free) > 0 {
+		cp.free = append([]int(nil), ft.free...)
 	}
 	return cp
 }
 
 // Len reports the number of open descriptors.
-func (ft *FDTable) Len() int { return len(ft.files) }
+func (ft *FDTable) Len() int { return ft.n }
+
+// pushFree inserts fd into the released-descriptor min-heap.
+func (ft *FDTable) pushFree(fd int) {
+	h := append(ft.free, fd)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= fd {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = fd
+	ft.free = h
+}
+
+// popFree removes and returns the minimum released descriptor.
+func (ft *FDTable) popFree() int {
+	h := ft.free
+	min := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	ft.free = h
+	if len(h) > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && h[c+1] < h[c] {
+				c++
+			}
+			if h[c] >= last {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return min
+}

@@ -16,29 +16,56 @@ type futexKey struct {
 	addr  uint64
 }
 
-// futexTable maps futex words to their wait queues. Entries exist only
-// while at least one task sleeps on the word: the queue's unlink drops
-// the entry when the last waiter leaves (wake, timeout or interrupt),
-// so a long-lived machine does not leak one table entry per futex word
-// ever touched.
+// futexShardBits selects the shard count: 64 shards keep any one map
+// small enough that growth rehashes stay off the block/wake critical
+// path even with a million distinct words asleep.
+const (
+	futexShardBits  = 6
+	futexShardCount = 1 << futexShardBits
+)
+
+// futexTable maps futex words to their wait queues, sharded by word
+// hash. Entries exist only while at least one task sleeps on the word:
+// the queue's unlink drops the entry when the last waiter leaves (wake,
+// timeout or interrupt), so a long-lived machine does not leak one
+// table entry per futex word ever touched. Sharding partitions that
+// lifecycle — each shard's map holds only its own words, so create and
+// drop never rehash the whole population — while the create-on-wait,
+// non-creating-lookup and drained-entry-reclamation rules apply
+// per shard exactly as they did for the single table.
 type futexTable struct {
-	queues map[futexKey]*WaitQueue
+	shards [futexShardCount]map[futexKey]*WaitQueue
+	total  int            // live entries across all shards
 	size   *metrics.Gauge // table-size gauge, nil without a registry
 }
 
-func newFutexTable() *futexTable {
-	return &futexTable{queues: make(map[futexKey]*WaitQueue)}
+func newFutexTable() *futexTable { return &futexTable{} }
+
+// shardOf hashes a futex key to its shard index. The address's low bits
+// carry no entropy (words are 8-aligned), so a multiplicative mix feeds
+// the top bits, which select the shard.
+func shardOf(k futexKey) uint64 {
+	h := (k.addr ^ k.space*0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	return h >> (64 - futexShardBits)
 }
 
 // queue returns the wait queue for k, creating the table entry if the
-// word has no waiters yet. Only the wait path creates entries.
+// word has no waiters yet. Only the wait path (including a requeue
+// transferring sleepers) creates entries.
 func (ft *futexTable) queue(k futexKey) *WaitQueue {
-	q := ft.queues[k]
+	s := shardOf(k)
+	m := ft.shards[s]
+	if m == nil {
+		m = make(map[futexKey]*WaitQueue)
+		ft.shards[s] = m
+	}
+	q := m[k]
 	if q == nil {
 		q = &WaitQueue{ft: ft, key: k}
-		ft.queues[k] = q
+		m[k] = q
+		ft.total++
 		if ft.size != nil {
-			ft.size.Set(int64(len(ft.queues)))
+			ft.size.Set(int64(ft.total))
 		}
 	}
 	return q
@@ -47,14 +74,21 @@ func (ft *futexTable) queue(k futexKey) *WaitQueue {
 // lookup returns the wait queue for k without creating an entry (nil
 // when nothing sleeps on the word) — the wake path must not populate
 // the table.
-func (ft *futexTable) lookup(k futexKey) *WaitQueue { return ft.queues[k] }
+func (ft *futexTable) lookup(k futexKey) *WaitQueue {
+	m := ft.shards[shardOf(k)]
+	if m == nil {
+		return nil
+	}
+	return m[k]
+}
 
 // drop deletes a drained queue's table entry (called from unlink when
 // the last waiter leaves).
 func (ft *futexTable) drop(k futexKey) {
-	delete(ft.queues, k)
+	delete(ft.shards[shardOf(k)], k)
+	ft.total--
 	if ft.size != nil {
-		ft.size.Set(int64(len(ft.queues)))
+		ft.size.Set(int64(ft.total))
 	}
 }
 
@@ -112,15 +146,13 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 		// timer fires only if the task is still in this very sleep —
 		// because every blocking wait on any path increments waitSeq, a
 		// task that woke and re-blocked on the same queue (say via
-		// Semaphore.Wait on the same word) no longer matches.
-		seq := t.waitSeq + 1
-		k.engine.After(timeout, func() {
-			if t.waitSeq == seq && t.state == TaskBlocked && t.blockedOn == q {
-				q.remove(t)
-				t.wakeReason = WakeTimeout
-				k.makeRunnable(t, k.machine.Costs.KernelSwitch)
-			}
-		})
+		// Semaphore.Wait on the same word) no longer matches. The timer
+		// object is pooled (see futexTimer), so a timed wait allocates
+		// nothing in steady state; matching on waitSeq alone (plus the
+		// blocked state) also keeps the timeout armed across a
+		// FutexRequeue, which moves the sleeper to another queue without
+		// ending the sleep.
+		k.engine.After(timeout, k.getFutexTimer(t, t.waitSeq+1).fn)
 	}
 	k.fxStats.Blocked++
 	switch k.block(t, q) {
@@ -203,6 +235,70 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	return claimed
 }
 
+// FutexRequeue implements futex(FUTEX_CMP_REQUEUE): if the 64-bit word
+// at addr still holds expected, wake up to nWake waiters on addr, then
+// transfer up to nMove of the remaining waiters — in FIFO order, without
+// waking them — onto the wait queue of addr2. It returns the number of
+// waiters woken plus moved. Moved sleepers keep their pending timeout (a
+// timed wait's timer matches on the sleep's waitSeq, not its queue) and
+// are thereafter woken by wakes on addr2; the transfer itself creates
+// addr2's table entry only because actual sleepers arrive on it, so the
+// create-on-wait table discipline is preserved. addr2 must differ from
+// addr (EINVAL, as in Linux).
+func (t *Task) FutexRequeue(addr, expected uint64, nWake, nMove int, addr2 uint64) (int, error) {
+	k := t.kernel
+	fr := k.sysEnter(t, "futex_requeue")
+	t.Charge(k.machine.Costs.FutexWakeCall)
+	if addr2 == addr {
+		k.sysExit(t, fr)
+		return 0, ErrInvalid
+	}
+	val, err := t.space.ReadU64(addr, taskCharger{t})
+	if err != nil {
+		k.sysExit(t, fr)
+		return 0, err
+	}
+	if val != expected {
+		k.sysExit(t, fr)
+		return 0, ErrFutexAgain
+	}
+	woken, moved := 0, 0
+	if q := k.futexes.lookup(futexKey{t.space.ID, addr}); q != nil {
+		for woken < nWake {
+			w := q.pop()
+			if w == nil {
+				break
+			}
+			k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
+			woken++
+		}
+		if nMove > 0 && q.Len() > 0 {
+			q2 := k.futexes.queue(futexKey{t.space.ID, addr2})
+			for moved < nMove {
+				w := q.head
+				if w == nil {
+					break
+				}
+				q.unlink(w)
+				q2.push(w)
+				w.blockedOn = q2
+				moved++
+			}
+		}
+	}
+	k.fxStats.Claimed += uint64(woken)
+	k.fxStats.Delivered += uint64(woken)
+	k.fxStats.Requeued += uint64(moved)
+	if k.mFutex.woken != nil {
+		k.mFutex.woken.Add(uint64(woken))
+	}
+	if k.mFutex.requeues != nil {
+		k.mFutex.requeues.Add(uint64(moved))
+	}
+	k.sysExit(t, fr)
+	return woken + moved, nil
+}
+
 // FutexWaiters reports how many tasks sleep on the given word (for tests
 // and diagnostics).
 func (k *Kernel) FutexWaiters(space uint64, addr uint64) int {
@@ -214,9 +310,67 @@ func (k *Kernel) FutexWaiters(space uint64, addr uint64) int {
 }
 
 // FutexTableSize reports the number of live futex-table entries — words
-// with at least one sleeper. Hygiene invariant: the table holds no
-// drained queues, so this returns 0 at clean quiescence.
-func (k *Kernel) FutexTableSize() int { return len(k.futexes.queues) }
+// with at least one sleeper — summed across all shards. Hygiene
+// invariant: no shard holds a drained queue, so this returns 0 at clean
+// quiescence (the explorer's quiescence oracle relies on it).
+func (k *Kernel) FutexTableSize() int {
+	n := 0
+	for _, m := range k.futexes.shards {
+		n += len(m)
+	}
+	if n != k.futexes.total {
+		panic(fmt.Sprintf("kernel: futex shard sizes sum to %d but the table counts %d", n, k.futexes.total))
+	}
+	return n
+}
+
+// futexTimer is a pooled timeout callback for timed futex waits. The
+// closure is built once per pooled object and captures only the object,
+// so arming a timeout allocates nothing in steady state; the object
+// recycles when its timer fires (After always fires, even when the sleep
+// ended first — the fire is then a no-op thanks to the waitSeq guard).
+type futexTimer struct {
+	k    *Kernel
+	task *Task
+	seq  uint64
+	fn   func()
+}
+
+// maxTimerPool bounds the kernel's timer-object pools, mirroring the
+// engine's callback-event freelist bound: a burst of a million in-flight
+// timers should not pin a million dead objects forever.
+const maxTimerPool = 1024
+
+func (k *Kernel) getFutexTimer(t *Task, seq uint64) *futexTimer {
+	var ft *futexTimer
+	if n := len(k.futexTimers); n > 0 {
+		ft = k.futexTimers[n-1]
+		k.futexTimers[n-1] = nil
+		k.futexTimers = k.futexTimers[:n-1]
+	} else {
+		ft = &futexTimer{k: k}
+		ft.fn = ft.fire
+	}
+	ft.task, ft.seq = t, seq
+	return ft
+}
+
+func (ft *futexTimer) fire() {
+	k, t, seq := ft.k, ft.task, ft.seq
+	ft.task = nil
+	if len(k.futexTimers) < maxTimerPool {
+		k.futexTimers = append(k.futexTimers, ft)
+	}
+	// The sleep is identified by its waitSeq — bumped by every blocking
+	// wait on any path — so a stale timer can never wake a later sleep,
+	// and a requeued waiter (now on another word's queue) still times
+	// out.
+	if t.waitSeq == seq && t.state == TaskBlocked && t.blockedOn != nil {
+		t.blockedOn.remove(t)
+		t.wakeReason = WakeTimeout
+		k.makeRunnable(t, k.machine.Costs.KernelSwitch)
+	}
+}
 
 // Semaphore is a counting semaphore over a futex word, mirroring the
 // glibc sem_t used by the paper's BLOCKING evaluation. The word lives in

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,7 @@ var (
 	ErrBadCore     = errors.New("kernel: no such CPU core")
 	ErrNotRunning  = errors.New("kernel: task is not running on a CPU")
 	ErrInterrupted = errors.New("kernel: interrupted by signal (EINTR)")
+	ErrInvalid     = errors.New("kernel: invalid argument (EINVAL)")
 )
 
 // Kernel is one simulated machine's operating system instance.
@@ -46,6 +48,13 @@ type Kernel struct {
 	nextPID int
 
 	futexes *futexTable
+
+	// futexTimers / sleepTimers recycle the timer objects of timed futex
+	// waits and Nanosleep so the block path allocates nothing in steady
+	// state (each object carries a closure built once; see futexTimer and
+	// sleepTimer).
+	futexTimers []*futexTimer
+	sleepTimers []*sleepTimer
 
 	// auditor, when set, observes every system-call with the executing
 	// task; the ULP layer uses it to verify system-call consistency.
@@ -66,7 +75,7 @@ type Kernel struct {
 	mRunq   *metrics.Histogram
 	mCtxKLT *metrics.Counter
 	mFutex  struct {
-		waits, wakes, woken, lost, spurious, timeouts *metrics.Counter
+		waits, wakes, woken, lost, spurious, timeouts, requeues *metrics.Counter
 	}
 	mTLS     *metrics.Counter
 	mTLSCost *metrics.Counter
@@ -105,6 +114,7 @@ type FutexStats struct {
 	Timeouts    uint64 // sleeps ended by the timeout timer
 	Interrupted uint64 // sleeps ended by signal delivery
 	Spurious    uint64 // injected spurious wakeups (never slept)
+	Requeued    uint64 // sleepers moved between words by FutexRequeue
 }
 
 // FutexStats returns a copy of the futex conservation ledger.
@@ -115,8 +125,10 @@ func (k *Kernel) FutexStats() FutexStats { return k.fxStats }
 // one) left a sleeper behind.
 func (k *Kernel) ResidualFutexWaiters() int {
 	n := 0
-	for _, q := range k.futexes.queues {
-		n += q.Len()
+	for _, m := range k.futexes.shards {
+		for _, q := range m {
+			n += q.Len()
+		}
 	}
 	return n
 }
@@ -134,7 +146,11 @@ func New(e *sim.Engine, m *arch.Machine) *Kernel {
 		syscallCounts: make(map[string]uint64),
 	}
 	for i := 0; i < m.Cores(); i++ {
-		k.cores = append(k.cores, &Core{id: i, kernel: k})
+		c := &Core{id: i, kernel: k}
+		// The dispatch-latency callback is built once per core so the
+		// dispatch hot path schedules it without allocating a closure.
+		c.noteRunFn = func() { k.noteRun(c) }
+		k.cores = append(k.cores, c)
 	}
 	return k
 }
@@ -192,6 +208,7 @@ func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 		k.mSysLat, k.mRunq, k.mCtxKLT = nil, nil, nil
 		k.mFutex.waits, k.mFutex.wakes, k.mFutex.woken = nil, nil, nil
 		k.mFutex.lost, k.mFutex.spurious, k.mFutex.timeouts = nil, nil, nil
+		k.mFutex.requeues = nil
 		k.mTLS, k.mTLSCost, k.mSignals, k.mFaults = nil, nil, nil, nil
 		k.futexes.size = nil
 		return
@@ -205,6 +222,7 @@ func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	k.mFutex.lost = reg.Counter("kernel.futex.lost_wakes")
 	k.mFutex.spurious = reg.Counter("kernel.futex.spurious")
 	k.mFutex.timeouts = reg.Counter("kernel.futex.timeouts")
+	k.mFutex.requeues = reg.Counter("kernel.futex.requeued")
 	// Live futex-table entries (words with sleepers); its Max is the
 	// high-water mark, and hygiene demands Value 0 at quiescence.
 	k.futexes.size = reg.Gauge("kernel.futex.table_size")
@@ -278,12 +296,19 @@ func (k *Kernel) SyscallCount(name string) uint64 { return k.syscallCounts[name]
 func (k *Kernel) ContextSwitches() uint64 { return k.ctxSwitches }
 
 // Core is one CPU core: it runs at most one task at a time and keeps a
-// FIFO queue of ready tasks assigned to it.
+// FIFO queue of ready tasks assigned to it. The queue is a ring buffer:
+// the slice-based queue it replaces copied every remaining element on
+// each pop, an O(n) cost per dispatch that dominated deep-backlog wake
+// storms.
 type Core struct {
 	id      int
 	kernel  *Kernel
 	current *Task
-	runq    []*Task
+	runq    ring.Q[*Task]
+
+	// noteRunFn is the pre-built dispatch-latency callback (closes over
+	// this core); dispatch schedules it without allocating.
+	noteRunFn func()
 
 	busy     sim.Duration // cumulative busy time (power/utilization proxy)
 	runStart sim.Time     // when the current occupancy span began
@@ -296,33 +321,14 @@ func (c *Core) ID() int { return c.id }
 func (c *Core) Current() *Task { return c.current }
 
 // QueueLen reports the number of ready tasks waiting on this core.
-func (c *Core) QueueLen() int { return len(c.runq) }
+func (c *Core) QueueLen() int { return c.runq.Len() }
 
 // Busy reports the core's cumulative busy time.
 func (c *Core) Busy() sim.Duration { return c.busy }
 
-func (c *Core) push(t *Task) { c.runq = append(c.runq, t) }
+func (c *Core) push(t *Task) { c.runq.Push(t) }
 
-func (c *Core) pop() *Task {
-	if len(c.runq) == 0 {
-		return nil
-	}
-	t := c.runq[0]
-	copy(c.runq, c.runq[1:])
-	c.runq[len(c.runq)-1] = nil
-	c.runq = c.runq[:len(c.runq)-1]
-	return t
-}
-
-func (c *Core) remove(t *Task) bool {
-	for i, q := range c.runq {
-		if q == t {
-			c.runq = append(c.runq[:i], c.runq[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
+func (c *Core) pop() *Task { return c.runq.Pop() }
 
 // pickCore selects a core for a waking task: its pinned core if any,
 // otherwise the lowest-numbered idle core, otherwise the core with the
@@ -333,7 +339,7 @@ func (k *Kernel) pickCore(t *Task) *Core {
 	}
 	best := k.cores[0]
 	for _, c := range k.cores {
-		if c.current == nil && len(c.runq) == 0 {
+		if c.current == nil && c.runq.Len() == 0 {
 			return c
 		}
 		if load(c) < load(best) {
@@ -344,12 +350,17 @@ func (k *Kernel) pickCore(t *Task) *Core {
 }
 
 func load(c *Core) int {
-	n := len(c.runq)
+	n := c.runq.Len()
 	if c.current != nil {
 		n++
 	}
 	return n
 }
+
+// tracing reports whether a tracer is installed. Hot paths gate their
+// k.trace calls on it so the untraced run pays neither the variadic
+// boxing nor the pidString formatting of the call's arguments.
+func (k *Kernel) tracing() bool { return k.engine.Tracer() != nil }
 
 func (k *Kernel) trace(format string, args ...interface{}) {
 	if tr := k.engine.Tracer(); tr != nil {

@@ -113,13 +113,15 @@ func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
 // the given latency.
 func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
 	if k.mRunq != nil {
-		k.mRunq.Observe(int64(len(c.runq)))
+		k.mRunq.Observe(int64(c.runq.Len()))
 	}
 	c.current = t
 	t.core = c
 	t.state = TaskRunning
-	k.trace("dispatch %s on core %d (+%v)", pidString(t), c.id, latency)
-	k.engine.After(latency, func() { k.noteRun(c) })
+	if k.tracing() {
+		k.trace("dispatch %s on core %d (+%v)", pidString(t), c.id, latency)
+	}
+	k.engine.After(latency, c.noteRunFn)
 	if t.proc == nil {
 		t.proc = k.engine.SpawnAfter(fmt.Sprintf("%s/pid%d", t.name, t.pid), latency, func(p *sim.Proc) {
 			status := t.body(t)
@@ -168,7 +170,9 @@ func (k *Kernel) block(t *Task, q *WaitQueue) WakeReason {
 	k.noteStop(c, t)
 	t.core = nil
 	c.current = nil
-	k.trace("block %s (core %d now free)", pidString(t), c.id)
+	if k.tracing() {
+		k.trace("block %s (core %d now free)", pidString(t), c.id)
+	}
 	k.scheduleNext(c)
 	t.proc.Park()
 	return t.wakeReason
@@ -213,16 +217,23 @@ func (k *Kernel) exitTask(t *Task, status int) {
 	t.Charge(k.machine.Costs.ExitCost)
 	t.exited = true
 	t.exitCode = status
-	k.trace("exit %s status=%d", pidString(t), status)
+	if k.tracing() {
+		k.trace("exit %s status=%d", pidString(t), status)
+	}
 	if t.space != nil {
 		t.space.Detach()
 	}
 	// Wake anyone Join()ed on this specific task.
 	k.WakeAll(&t.doneQ, k.machine.Costs.FutexWakeLatency)
 	if t.isThread || t.parent == nil {
-		// Threads and the initial task are reaped immediately.
+		// Threads and the initial task are reaped immediately — including
+		// unlinking from the parent's child list, which would otherwise
+		// retain every dead thread for the parent's lifetime.
 		t.state = TaskDead
 		delete(k.tasks, t.pid)
+		if t.parent != nil {
+			t.parent.removeChild(t)
+		}
 	} else {
 		t.state = TaskZombie
 		// Wake a parent blocked in wait().
@@ -245,7 +256,7 @@ func (t *Task) SchedYield() {
 	fr := k.sysEnter(t, "sched_yield")
 	t.Charge(k.machine.Costs.SchedYieldNoSwitch)
 	c := t.core
-	if len(c.runq) == 0 {
+	if c.runq.Len() == 0 {
 		k.sysExit(t, fr)
 		return
 	}
@@ -266,14 +277,46 @@ func (t *Task) SchedYield() {
 	k.sysExit(t, fr)
 }
 
+// sleepTimer is a pooled Nanosleep timer: one embedded wait queue plus a
+// wake callback built once per pooled object, so a sleep allocates
+// nothing in steady state. The object recycles only when its timer fires
+// (After always fires): a signal-interrupted sleep leaves the queue
+// empty and the late fire wakes nobody, exactly as the per-call queue it
+// replaces behaved.
+type sleepTimer struct {
+	k  *Kernel
+	q  WaitQueue
+	fn func()
+}
+
+func (k *Kernel) getSleepTimer() *sleepTimer {
+	if n := len(k.sleepTimers); n > 0 {
+		st := k.sleepTimers[n-1]
+		k.sleepTimers[n-1] = nil
+		k.sleepTimers = k.sleepTimers[:n-1]
+		return st
+	}
+	st := &sleepTimer{k: k}
+	st.fn = st.fire
+	return st
+}
+
+func (st *sleepTimer) fire() {
+	k := st.k
+	k.WakeOne(&st.q, k.machine.Costs.KernelSwitch)
+	if len(k.sleepTimers) < maxTimerPool {
+		k.sleepTimers = append(k.sleepTimers, st)
+	}
+}
+
 // Nanosleep suspends the calling task for the given virtual duration.
 func (t *Task) Nanosleep(d sim.Duration) {
 	k := t.kernel
 	fr := k.sysEnter(t, "nanosleep")
 	t.Charge(k.machine.Costs.SyscallEntry)
-	var q WaitQueue
-	k.engine.After(d, func() { k.WakeOne(&q, k.machine.Costs.KernelSwitch) })
-	k.block(t, &q)
+	st := k.getSleepTimer()
+	k.engine.After(d, st.fn)
+	k.block(t, &st.q)
 	k.sysExit(t, fr)
 }
 
@@ -287,8 +330,11 @@ func (t *Task) Wait() (pid, status int, err error) {
 	fr := k.sysEnter(t, "wait")
 	t.Charge(k.machine.Costs.SyscallEntry + k.machine.Costs.WaitCost)
 	for {
+		// The scan runs the intrusive child list in creation order —
+		// identical reap order to the slice it replaces — and removal is
+		// an O(1) unlink instead of a splice.
 		waitable := 0
-		for i, ch := range t.children {
+		for ch := t.firstChild; ch != nil; ch = ch.nextSib {
 			if ch.isThread {
 				continue
 			}
@@ -296,7 +342,7 @@ func (t *Task) Wait() (pid, status int, err error) {
 			if ch.state == TaskZombie {
 				ch.state = TaskDead
 				delete(k.tasks, ch.pid)
-				t.children = append(t.children[:i], t.children[i+1:]...)
+				t.removeChild(ch)
 				k.sysExit(t, fr)
 				return ch.pid, ch.exitCode, nil
 			}

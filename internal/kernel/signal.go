@@ -27,10 +27,13 @@ type Delivery struct {
 }
 
 // SignalState is the per-task (or shared, with CloneSighand) signal
-// disposition: handler table and blocked mask, plus a delivery log.
+// disposition: handler table and blocked mask, plus a delivery log. The
+// handler map is allocated lazily on the first Sigaction — most tasks
+// never register a handler, and at a million tasks an eager map per
+// task (and per fork-style Clone copy) is pure footprint.
 type SignalState struct {
-	handlers map[int]SigHandler
-	mask     uint64 // bit i+1 set => signal i+1 blocked
+	handlers map[int]SigHandler // nil until a handler is registered
+	mask     uint64             // bit i+1 set => signal i+1 blocked
 	pending  []int
 
 	Deliveries []Delivery
@@ -38,15 +41,16 @@ type SignalState struct {
 
 // NewSignalState creates a default disposition (no handlers, empty
 // mask).
-func NewSignalState() *SignalState {
-	return &SignalState{handlers: make(map[int]SigHandler)}
-}
+func NewSignalState() *SignalState { return &SignalState{} }
 
 // Copy duplicates the disposition (fork-style).
 func (s *SignalState) Copy() *SignalState {
 	cp := NewSignalState()
-	for sig, h := range s.handlers {
-		cp.handlers[sig] = h
+	if s.handlers != nil {
+		cp.handlers = make(map[int]SigHandler, len(s.handlers))
+		for sig, h := range s.handlers {
+			cp.handlers[sig] = h
+		}
 	}
 	cp.mask = s.mask
 	return cp
@@ -66,6 +70,9 @@ func (t *Task) Sigaction(sig int, h SigHandler) {
 	k := t.kernel
 	fr := k.sysEnter(t, "sigaction")
 	t.Charge(k.machine.Costs.SyscallEntry)
+	if t.sig.handlers == nil {
+		t.sig.handlers = make(map[int]SigHandler)
+	}
 	t.sig.handlers[sig] = h
 	k.sysExit(t, fr)
 }

@@ -91,7 +91,14 @@ type Task struct {
 	sig    *SignalState
 	tlsReg uint64 // the FS / tpidr_el0 register value
 
-	children  []*Task
+	// The child list is an intrusive doubly-linked list in creation
+	// order, threaded through the children's prevSib/nextSib fields:
+	// appending a clone and unlinking a reaped child are O(1) and
+	// allocation-free, and a reaped child is never retained by a spare
+	// slice slot.
+	firstChild, lastChild *Task
+	prevSib, nextSib      *Task
+
 	childWait WaitQueue // this task blocked in wait() for children
 	doneQ     WaitQueue // tasks Join()ed on this task
 	exitCode  int
@@ -280,9 +287,38 @@ func (t *Task) ClonePinned(name string, flags CloneFlags, core int, body TaskBod
 		child.sig = t.sig.Copy()
 	}
 	child.tlsReg = t.tlsReg
-	t.children = append(t.children, child)
+	t.appendChild(child)
 	k.tasks[pid] = child
-	k.trace("clone %s -> %s (flags=%b)", pidString(t), pidString(child), flags)
+	if k.tracing() {
+		k.trace("clone %s -> %s (flags=%b)", pidString(t), pidString(child), flags)
+	}
 	k.makeRunnable(child, 0)
 	return child
+}
+
+// appendChild links c at the tail of t's child list.
+func (t *Task) appendChild(c *Task) {
+	c.prevSib = t.lastChild
+	if t.lastChild != nil {
+		t.lastChild.nextSib = c
+	} else {
+		t.firstChild = c
+	}
+	t.lastChild = c
+}
+
+// removeChild unlinks c from t's child list, clearing its sibling links
+// so the departed child is not retained.
+func (t *Task) removeChild(c *Task) {
+	if c.prevSib != nil {
+		c.prevSib.nextSib = c.nextSib
+	} else {
+		t.firstChild = c.nextSib
+	}
+	if c.nextSib != nil {
+		c.nextSib.prevSib = c.prevSib
+	} else {
+		t.lastChild = c.prevSib
+	}
+	c.prevSib, c.nextSib = nil, nil
 }

@@ -106,7 +106,7 @@ func TestInterruptedWaiterNotRetained(t *testing.T) {
 		if err := task.Kill(victim.PID(), SIGUSR1); err != nil {
 			t.Errorf("kill: %v", err)
 		}
-		q := k.futexes.queues[futexKey{space.ID, addr}]
+		q := k.futexes.lookup(futexKey{space.ID, addr})
 		if q == nil {
 			// t.Fatal would goexit off the proc goroutine and wedge the
 			// engine; report and bail out of the task body instead.

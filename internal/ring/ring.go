@@ -1,0 +1,71 @@
+// Package ring provides a growable power-of-two ring buffer used as a
+// FIFO run queue. Push, Pop and PopTail are O(1) with no per-element
+// allocation; the slice front-copy dequeue it replaces cost O(n) per pop
+// once queues reach scale-suite depths (a 1M-task wake storm paid a
+// million-element copy per dispatch).
+package ring
+
+// Q is a FIFO queue over a circular buffer whose capacity is always a
+// power of two (so index wrap is a mask, not a modulo). The zero value
+// is an empty queue ready for use.
+type Q[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int
+}
+
+// Len reports the number of queued elements.
+func (q *Q[T]) Len() int { return q.n }
+
+// Push appends v at the tail.
+func (q *Q[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// Pop removes and returns the head element, or the zero value when
+// empty. The vacated slot is cleared so the queue never retains a
+// departed element.
+func (q *Q[T]) Pop() T {
+	var zero T
+	if q.n == 0 {
+		return zero
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// PopTail removes and returns the newest element (LIFO end), or the zero
+// value when empty — the work-stealing side of a deque.
+func (q *Q[T]) PopTail() T {
+	var zero T
+	if q.n == 0 {
+		return zero
+	}
+	i := (q.head + q.n - 1) & (len(q.buf) - 1)
+	v := q.buf[i]
+	q.buf[i] = zero
+	q.n--
+	return v
+}
+
+// grow doubles the buffer (minimum 8) and re-bases the elements at
+// index 0 in FIFO order.
+func (q *Q[T]) grow() {
+	c := 2 * len(q.buf)
+	if c < 8 {
+		c = 8
+	}
+	nb := make([]T, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}

@@ -1,0 +1,118 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrderAcrossGrowth(t *testing.T) {
+	var q Q[int]
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Push(i)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop %d = %d", i, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	if v := q.Pop(); v != 0 {
+		t.Fatalf("Pop on empty = %d, want zero value", v)
+	}
+}
+
+// TestWrapAround drives the head all the way around the buffer so pushes
+// wrap behind it.
+func TestWrapAround(t *testing.T) {
+	var q Q[int]
+	next, expect := 0, 0
+	for i := 0; i < 5; i++ {
+		q.Push(next)
+		next++
+	}
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if v := q.Pop(); v != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestPopTail(t *testing.T) {
+	var q Q[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if v := q.PopTail(); v != 9 {
+		t.Fatalf("PopTail = %d, want 9", v)
+	}
+	if v := q.Pop(); v != 0 {
+		t.Fatalf("Pop = %d, want 0", v)
+	}
+	if v := q.PopTail(); v != 8 {
+		t.Fatalf("PopTail = %d, want 8", v)
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", q.Len())
+	}
+	var empty Q[int]
+	if v := empty.PopTail(); v != 0 {
+		t.Fatalf("PopTail on empty = %d, want zero value", v)
+	}
+}
+
+// TestPopClearsSlot pins that vacated slots do not retain pointers.
+func TestPopClearsSlot(t *testing.T) {
+	var q Q[*int]
+	x := new(int)
+	q.Push(x)
+	head := q.head
+	if got := q.Pop(); got != x {
+		t.Fatal("Pop returned wrong element")
+	}
+	if q.buf[head] != nil {
+		t.Error("Pop left the slot populated")
+	}
+	q.Push(x)
+	tail := (q.head + q.n - 1) & (len(q.buf) - 1)
+	if got := q.PopTail(); got != x {
+		t.Fatal("PopTail returned wrong element")
+	}
+	if q.buf[tail] != nil {
+		t.Error("PopTail left the slot populated")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	var q Q[*int]
+	x := new(int)
+	for i := 0; i < 64; i++ {
+		q.Push(x)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(x)
+		}
+		for i := 0; i < 16; i++ {
+			q.Pop()
+		}
+		for q.Len() > 0 {
+			q.PopTail()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push/Pop allocates %.1f times per run", allocs)
+	}
+}

@@ -113,7 +113,9 @@ func (p *Proc) run(fn func(*Proc)) {
 	fn(p)
 	p.state = procDead
 	delete(p.engine.procs, p.id)
-	p.engine.trace("exit", "proc %s", p)
+	if p.engine.tracer != nil {
+		p.engine.trace("exit", "proc %s", p)
+	}
 	p.release()
 }
 

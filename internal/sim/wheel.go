@@ -1,0 +1,224 @@
+package sim
+
+import "math/bits"
+
+// This file implements the far-event side of the engine's event queue: a
+// hierarchical timing wheel (Varghese & Lauck) over virtual time.
+//
+// The engine keeps two structures. Events due soon live in the deferred
+// slot / 4-ary min-heap, which yields exact (time, seq) order. Events at
+// least wheelHorizon in the future are parked in the wheel: insertion is
+// O(1) regardless of how many timers are pending, instead of the heap's
+// O(log n) sift against every near event. As virtual time approaches, a
+// slot's events cascade back through the heap — only when their level
+// turns — and the heap's comparator re-establishes the exact global
+// (time, seq) order before anything pops. Tie-order at equal timestamps
+// is therefore byte-identical to a heap-only engine: sequence numbers are
+// assigned at schedule time, ride along through the wheel, and the heap
+// is always the final arbiter.
+//
+// Geometry: 8 levels of 64 slots. A level-0 slot spans 2^wheelTickShift
+// picoseconds (~1.05 us); each level is 64x coarser, so the wheel covers
+// 64^8 * 2^20 ps — more than the entire non-negative Time range. No
+// overflow list is needed.
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 8
+	// wheelTickShift is log2 of a level-0 slot width in picoseconds.
+	wheelTickShift = 20
+)
+
+// DefaultTimerWheelHorizon is the default near/far boundary: events
+// scheduled at least this far in the future go into the timing wheel.
+// Four level-0 slots guarantees a wheel event's tick is strictly ahead
+// of the wheel's current tick regardless of slot alignment.
+const DefaultTimerWheelHorizon = Duration(4 << wheelTickShift)
+
+// wheelTickOf maps an absolute virtual time to its level-0 tick.
+func wheelTickOf(at Time) uint64 { return uint64(at) >> wheelTickShift }
+
+// wheelLevel is one ring of 64 slots. Each slot is an unordered
+// singly-linked list of events threaded through event.wnext; the bitmap
+// has a bit set for every non-empty slot so cascades and due scans skip
+// empty slots in one instruction.
+type wheelLevel struct {
+	bitmap uint64
+	slot   [wheelSlots]*event
+}
+
+// timerWheel holds far-future events. tick is the level-0 tick the wheel
+// has been advanced to; due caches the earliest possible tick of any
+// held event (the exact minimum over occupied slot start ticks), so the
+// engine's hot path decides "is anything in the wheel relevant yet?"
+// with one comparison.
+type timerWheel struct {
+	tick   uint64
+	due    uint64
+	count  int
+	levels [wheelLevels]wheelLevel
+}
+
+// insert files ev into the wheel. The caller must have checked that
+// t = wheelTickOf(ev.at) is strictly greater than w.tick; the level is
+// the highest one whose digit of t differs from w.tick's (the timeout.c
+// scheme), which guarantees the slot index at that level is strictly
+// ahead of the wheel's current position — no wrap-around bookkeeping.
+func (w *timerWheel) insert(ev *event, t uint64) {
+	level := (63 - bits.LeadingZeros64(t^w.tick)) / wheelBits
+	if level >= wheelLevels {
+		level = wheelLevels - 1
+	}
+	shift := uint(level * wheelBits)
+	idx := (t >> shift) & wheelMask
+	l := &w.levels[level]
+	ev.wnext = l.slot[idx]
+	l.slot[idx] = ev
+	l.bitmap |= 1 << idx
+	start := t &^ (uint64(1)<<shift - 1) // slot start in level-0 ticks
+	if w.count == 0 || start < w.due {
+		w.due = start
+	}
+	w.count++
+}
+
+// expireMask returns the bitmap of slot indices in the circular range
+// (p, p+delta] — the slots passed when a level's position advances by
+// delta. delta >= wheelSlots selects every slot.
+func expireMask(p, delta uint64) uint64 {
+	if delta >= wheelSlots {
+		return ^uint64(0)
+	}
+	lo := (p + 1) & wheelMask
+	if lo+delta <= wheelSlots {
+		return (uint64(1)<<delta - 1) << lo
+	}
+	hi := lo + delta - wheelSlots
+	return ^uint64(0)<<lo | (uint64(1)<<hi - 1)
+}
+
+// cascade advances the wheel to its cached due tick, expiring every slot
+// whose range was passed at every level. Expired events whose tick has
+// been reached go into the engine's heap; later ones re-enter the wheel
+// at a strictly lower level (their remaining distance shrank), so each
+// event cascades at most wheelLevels-1 times over its lifetime.
+func (w *timerWheel) cascade(e *Engine) {
+	newTick := w.due
+	var pending *event
+	for level := 0; level < wheelLevels; level++ {
+		shift := uint(level * wheelBits)
+		oldT := w.tick >> shift
+		newT := newTick >> shift
+		if oldT == newT {
+			// Positions above this level have not moved either.
+			break
+		}
+		l := &w.levels[level]
+		if l.bitmap == 0 {
+			continue
+		}
+		m := l.bitmap & expireMask(oldT&wheelMask, newT-oldT)
+		for b := m; b != 0; b &= b - 1 {
+			idx := bits.TrailingZeros64(b)
+			for ev := l.slot[idx]; ev != nil; {
+				next := ev.wnext
+				ev.wnext = pending
+				pending = ev
+				ev = next
+			}
+			l.slot[idx] = nil
+		}
+		l.bitmap &^= m
+	}
+	w.tick = newTick
+	for ev := pending; ev != nil; {
+		next := ev.wnext
+		ev.wnext = nil
+		w.count--
+		if t := wheelTickOf(ev.at); t > w.tick {
+			w.insert(ev, t)
+		} else {
+			e.heapPush(ev)
+		}
+		ev = next
+	}
+	w.due = w.scanDue()
+}
+
+// scanDue recomputes the earliest occupied slot start tick across all
+// levels. Only called after a cascade (inserts maintain due
+// incrementally), so its cost amortizes against the slot turn.
+func (w *timerWheel) scanDue() uint64 {
+	best := ^uint64(0)
+	if w.count == 0 {
+		return best
+	}
+	for level := 0; level < wheelLevels; level++ {
+		bm := w.levels[level].bitmap
+		if bm == 0 {
+			continue
+		}
+		shift := uint(level * wheelBits)
+		cur := w.tick >> shift
+		pos := cur & wheelMask
+		base := cur - pos
+		for b := bm; b != 0; b &= b - 1 {
+			i := uint64(bits.TrailingZeros64(b))
+			lt := base + i
+			if i <= pos {
+				// Defensive: a slot at or behind the current position
+				// belongs to the next revolution.
+				lt += wheelSlots
+			}
+			if s := lt << shift; s < best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// wheelSync cascades due wheel slots into the heap until every event
+// still in the wheel is provably later than the earliest near event
+// (w.due is a lower bound on every held event's timestamp). It must run
+// before any peek/pop decision so the deferred slot + heap always
+// contain the global minimum; with the wheel empty it costs one counter
+// check at the call site.
+func (e *Engine) wheelSync() {
+	w := &e.wheel
+	for w.count > 0 {
+		hm := maxTime
+		if d := e.deferred; d != nil {
+			hm = d.at
+		}
+		if len(e.heap) > 0 && e.heap[0].at < hm {
+			hm = e.heap[0].at
+		}
+		if Time(w.due<<wheelTickShift) > hm {
+			return
+		}
+		w.cascade(e)
+	}
+}
+
+// SetTimerWheelHorizon tunes the near/far boundary: an event scheduled
+// at least d into the future is parked in the hierarchical timing wheel
+// instead of the min-heap and cascades back as virtual time approaches.
+// d <= 0 disables the wheel entirely (every event goes straight to the
+// heap). Pop order — including tie-order at equal timestamps — is
+// identical for every setting; the knob exists for the equivalence tests
+// and for tuning, not for semantics. Safe to change at any time: events
+// already in the wheel still drain through it.
+func (e *Engine) SetTimerWheelHorizon(d Duration) {
+	if d <= 0 {
+		e.wheelHorizon = Duration(maxTime)
+		return
+	}
+	e.wheelHorizon = d
+}
+
+// TimerWheelLen reports the number of events currently parked in the
+// timing wheel (for tests and diagnostics).
+func (e *Engine) TimerWheelLen() int { return e.wheel.count }

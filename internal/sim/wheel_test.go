@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHeapPopNilsTail pins the representation detail that heapPop clears
+// the vacated tail slot before truncating the slice. Without the nil
+// store the backing array retains a pointer to every popped event until
+// the slice is next overwritten — the same retention class as the PR 5
+// WaitQueue.remove fix, but for the event heap.
+func TestHeapPopNilsTail(t *testing.T) {
+	e := New()
+	for i := 0; i < 9; i++ {
+		e.heapPush(&event{at: Time(i), seq: uint64(i)})
+	}
+	for n := len(e.heap); n > 0; n-- {
+		if ev := e.heapPop(); ev == nil {
+			t.Fatal("heapPop returned nil with events pending")
+		}
+		// The slot just vacated sits at the new length; re-extend the
+		// slice to inspect it.
+		if got := e.heap[:n][n-1]; got != nil {
+			t.Fatalf("heapPop left event %v in the vacated tail slot", got)
+		}
+	}
+}
+
+func TestExpireMask(t *testing.T) {
+	cases := []struct {
+		p, delta uint64
+		want     uint64
+	}{
+		{0, 1, 1 << 1},
+		{0, 2, 1<<1 | 1<<2},
+		{62, 1, 1 << 63},
+		{62, 2, 1<<63 | 1<<0},    // wraps
+		{63, 2, 1<<0 | 1<<1},     // starts at 0
+		{5, 64, ^uint64(0)},      // full revolution
+		{5, 1000, ^uint64(0)},    // more than one revolution
+		{10, 0, 0},               // no movement
+		{63, 64, ^uint64(0)},     // full revolution from the top
+		{0, 63, ^uint64(0) &^ 1}, // everything but the start slot
+	}
+	for _, c := range cases {
+		if got := expireMask(c.p, c.delta); got != c.want {
+			t.Errorf("expireMask(%d, %d) = %#x, want %#x", c.p, c.delta, got, c.want)
+		}
+	}
+}
+
+// timerTraceRec is one fired timer in a timerTrace run.
+type timerTraceRec struct {
+	at Time
+	id int
+}
+
+// randomTimerDelay mixes near events (heap territory) with delays out to
+// seconds (top wheel levels), plus coarse rounding so exact-timestamp
+// collisions occur and exercise tie-order.
+func randomTimerDelay(rng *rand.Rand) Duration {
+	var d Duration
+	switch rng.Intn(5) {
+	case 0:
+		d = Duration(rng.Int63n(int64(2 * Microsecond)))
+	case 1:
+		d = Duration(rng.Int63n(int64(200 * Microsecond)))
+	case 2:
+		d = Duration(rng.Int63n(int64(50 * Millisecond)))
+	case 3:
+		d = Duration(rng.Int63n(int64(2 * Second)))
+	default:
+		// Quantized to force ties at the same virtual instant.
+		d = Duration(rng.Int63n(20)) * 10 * Microsecond
+	}
+	return d
+}
+
+// timerTrace runs a randomized self-extending timer workload under the
+// given wheel horizon and returns the exact (timestamp, id) firing
+// order. The rng stream is consumed in firing order, so any divergence
+// in event order between two horizons also diverges the traces.
+func timerTrace(t *testing.T, horizon Duration, seed int64) []timerTraceRec {
+	t.Helper()
+	const maxEvents = 4000
+	e := New()
+	e.SetTimerWheelHorizon(horizon)
+	rng := rand.New(rand.NewSource(seed))
+	var log []timerTraceRec
+	nextID := 0
+	var add func()
+	add = func() {
+		id := nextID
+		nextID++
+		e.After(randomTimerDelay(rng), func() {
+			log = append(log, timerTraceRec{at: e.Now(), id: id})
+			if nextID >= maxEvents {
+				return
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				add()
+			}
+			if rng.Intn(8) == 0 {
+				// A same-delay pair: both land on one instant and must
+				// fire in schedule order.
+				d := randomTimerDelay(rng)
+				e.After(d, func() { log = append(log, timerTraceRec{at: e.Now(), id: -1}) })
+				e.After(d, func() { log = append(log, timerTraceRec{at: e.Now(), id: -2}) })
+			}
+		})
+	}
+	for i := 0; i < 64; i++ {
+		add()
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("horizon %v: %v", horizon, err)
+	}
+	if e.PendingEvents() != 0 || e.TimerWheelLen() != 0 {
+		t.Fatalf("horizon %v: %d events (%d in wheel) left after Run",
+			horizon, e.PendingEvents(), e.TimerWheelLen())
+	}
+	return log
+}
+
+// TestWheelHeapEquivalence is the wheel <-> heap property test: the same
+// randomized timer workload driven with the wheel disabled (pure heap),
+// at the default horizon, and at horizons that force nearly everything
+// through the wheel must fire every event at the same timestamp in the
+// same order — including FIFO tie-order at equal instants.
+func TestWheelHeapEquivalence(t *testing.T) {
+	horizons := []Duration{
+		0, // disabled: every event through the heap (the reference)
+		DefaultTimerWheelHorizon,
+		Picosecond, // everything with a future tick through the wheel
+		100 * Microsecond,
+		10 * Millisecond,
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		ref := timerTrace(t, horizons[0], seed)
+		if len(ref) < 1000 {
+			t.Fatalf("seed %d: reference run fired only %d events", seed, len(ref))
+		}
+		for _, h := range horizons[1:] {
+			got := timerTrace(t, h, seed)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d horizon %v: %d events fired, reference fired %d",
+					seed, h, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d horizon %v: event %d fired as (%v, id %d), reference (%v, id %d)",
+						seed, h, i, got[i].at, got[i].id, ref[i].at, ref[i].id)
+				}
+			}
+		}
+	}
+}
+
+// TestWheelFarEventsLeaveHeapEmpty pins the structural claim: far-future
+// events are parked in the wheel, not the heap, so near-event operations
+// never sift against them.
+func TestWheelFarEventsLeaveHeapEmpty(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		e.After(Duration(i+1)*Millisecond, func() { fired++ })
+	}
+	if e.TimerWheelLen() != 1000 {
+		t.Fatalf("wheel holds %d of 1000 far events", e.TimerWheelLen())
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("heap holds %d events; far-future events should be in the wheel", len(e.heap))
+	}
+	if e.PendingEvents() != 1000 {
+		t.Fatalf("PendingEvents = %d, want 1000", e.PendingEvents())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d of 1000", fired)
+	}
+	if e.TimerWheelLen() != 0 || e.PendingEvents() != 0 {
+		t.Fatalf("wheel %d / pending %d after drain", e.TimerWheelLen(), e.PendingEvents())
+	}
+}
+
+// TestWheelTickGuard exercises the schedule guard for events whose tick
+// the wheel has already cascaded past: a long empty-queue jump advances
+// the wheel far ahead, after which a short-delay schedule (still beyond
+// the horizon measured from now) must take the heap path and fire on
+// time rather than being filed behind the wheel's position.
+func TestWheelTickGuard(t *testing.T) {
+	e := New()
+	order := []int{}
+	e.After(Second, func() {
+		order = append(order, 1)
+		// now = 1s; the wheel cascaded all the way here. Schedule just
+		// past the horizon: its tick may not be ahead of the wheel tick.
+		e.After(DefaultTimerWheelHorizon, func() { order = append(order, 2) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", order)
+	}
+}
