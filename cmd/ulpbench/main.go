@@ -45,11 +45,15 @@ const (
 	// The scale suite writes its own snapshot: its rows are host-coloured
 	// (wall, allocs, bytes per task) and must not churn the -exp records.
 	scaleJSONPath = "BENCH_scale.json"
+	// The chaos-at-scale suite likewise keeps its own snapshot so the
+	// supervised/faulted rows never churn the base scale baseline.
+	chaosScaleJSONPath = "BENCH_chaos_scale.json"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
 	scale := flag.Bool("scale", false, "run the wait-queue/futex scale suite instead of -exp (see doc comment)")
+	chaosScale := flag.Bool("chaos", false, "with -scale: the chaos-at-scale suite (fault plane + supervision) instead of the base suite")
 	quick := flag.Bool("quick", false, "with -scale: CI-sized workloads instead of the full 100k-task suite")
 	runs := flag.Int("runs", 3, "repetitions per measurement (minimum is reported)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiment sweeps (1 = serial)")
@@ -84,7 +88,7 @@ func main() {
 		recs = new([]bench.Record)
 	}
 	if *scale {
-		if err := runScale(*quick, recs); err != nil {
+		if err := runScale(*quick, *chaosScale, recs); err != nil {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
 			os.Exit(1)
 		}
@@ -101,6 +105,9 @@ func main() {
 		path := jsonPath
 		if *scale {
 			path = scaleJSONPath
+			if *chaosScale {
+				path = chaosScaleJSONPath
+			}
 		}
 		if err := bench.WriteRecordsJSON(path, *recs); err != nil {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
@@ -112,17 +119,35 @@ func main() {
 
 // runScale drives the scale suite serially over both machines (the
 // wall/alloc columns read process-global counters, so no sweep here).
-func runScale(quick bool, recs *[]bench.Record) error {
+// With chaosScale it runs the chaos-at-scale variant: fault plane plus
+// supervision, separate snapshot file.
+func runScale(quick, chaosScale bool, recs *[]bench.Record) error {
 	cfg := bench.FullScaleConfig()
 	if quick {
 		cfg = bench.QuickScaleConfig()
 	}
+	if chaosScale {
+		cfg = bench.FullChaosScaleConfig()
+		if quick {
+			cfg = bench.QuickChaosScaleConfig()
+		}
+	}
 	for _, m := range arch.Machines() {
-		r, err := bench.Scale(m, cfg)
+		var r bench.ScaleResult
+		var err error
+		if chaosScale {
+			r, err = bench.ChaosScale(m, cfg)
+		} else {
+			r, err = bench.Scale(m, cfg)
+		}
 		if err != nil {
 			return err
 		}
-		bench.PrintScale(os.Stdout, r)
+		if chaosScale {
+			bench.PrintChaosScale(os.Stdout, r)
+		} else {
+			bench.PrintScale(os.Stdout, r)
+		}
 		fmt.Println()
 		if recs != nil {
 			*recs = append(*recs, bench.ScaleRecords(r)...)

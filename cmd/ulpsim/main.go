@@ -41,6 +41,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 	"repro/internal/timeline"
 )
 
@@ -62,6 +63,8 @@ func main() {
 		workSteal    = flag.Bool("workstealing", false, "idle schedulers steal ready UCs from peers")
 		showTimeline = flag.Bool("timeline", false, "print per-core utilization and an ASCII Gantt chart")
 		preemptUS    = flag.Float64("preempt-us", 0, "Shinjuku-style ULT preemption quantum [us], 0 = off")
+		superviseOn  = flag.Bool("supervise", false, "install the supervision plane (stall/deadlock watchdog, restart budgets)")
+		stallUS      = flag.Float64("stall-horizon", 0, "supervision stall horizon [us], 0 = default")
 		chaosMode    = flag.Bool("chaos", false, "run the seeded chaos fuzzer instead of the scenario workload")
 		seed         = flag.Uint64("seed", 1, "fault plane / chaos / exploration seed")
 		faults       = flag.String("faults", "", "fault specs, e.g. 'futex_lost_wake:prob=0.01;kc_kill:nth=3,task=kc.t2' (in -chaos mode, empty means the default mix)")
@@ -78,7 +81,7 @@ func main() {
 		err = fmt.Errorf("unknown trace format %q (want text or chrome)", *traceFormat)
 	} else if *chaosMode {
 		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults,
-			*tracePath, *traceCap, *traceFormat, *showMetrics)
+			*tracePath, *traceCap, *traceFormat, *showMetrics, *superviseOn, *stallUS)
 	} else if *exploreMode {
 		err = runExplore(*machineName, *idle, *exploreScen, *explorePol,
 			*exploreRuns, *exploreDepth, *seed, *exploreTrace)
@@ -86,7 +89,7 @@ func main() {
 		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
 			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
 			*traceFormat, *showMetrics, *workSteal, *preemptUS, *showTimeline,
-			*seed, *faults)
+			*seed, *faults, *superviseOn, *stallUS)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ulpsim:", err)
@@ -131,7 +134,8 @@ func dumpMetrics(reg *metrics.Registry) error {
 // virtual time, so the second (bare) run must still produce the same
 // digest.
 func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string,
-	tracePath string, traceCap int, traceFormat string, showMetrics bool) error {
+	tracePath string, traceCap int, traceFormat string, showMetrics bool,
+	superviseOn bool, stallUS float64) error {
 	m := arch.ByName(machineName)
 	if m == nil {
 		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
@@ -149,6 +153,7 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 	cfg := chaos.Config{
 		Machine: m, Seed: seed, Specs: specs,
 		ULPs: ulps, Ops: ops, Idle: idlePolicy, SigMode: sigMode,
+		Supervise: superviseOn, StallHorizon: sim.FromUS(stallUS),
 	}
 	cfg1 := cfg
 	var tracer *sim.Tracer
@@ -283,7 +288,8 @@ func parseModes(idle, signals string) (blt.IdlePolicy, core.SignalMode, error) {
 func run(machineName string, ulps, progCores, syscallCores, ops int,
 	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
 	traceFormat string, showMetrics bool,
-	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string) error {
+	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string,
+	superviseOn bool, stallUS float64) error {
 
 	m := arch.ByName(machineName)
 	if m == nil {
@@ -322,6 +328,15 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	if showTimeline {
 		rec = timeline.New()
 		k.SetTimeline(rec)
+	}
+	var sup *supervise.Plane
+	if superviseOn {
+		sup = supervise.New(k, supervise.Config{
+			StallHorizon: sim.FromUS(stallUS),
+			Seed:         seed,
+			Metrics:      reg,
+		})
+		sup.Install()
 	}
 
 	cfg := core.Config{
@@ -405,6 +420,9 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		for _, line := range plane.Stats() {
 			fmt.Printf("fault          %s\n", line)
 		}
+	}
+	if sup != nil {
+		fmt.Printf("supervision    %s\n", sup.Summary())
 	}
 	for _, s := range rtRef.Pool().Schedulers() {
 		fmt.Printf("scheduler c%-2d  %d dispatches, %d steals, %v spun idle\n",

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 )
 
 // ErrInProgress is returned by Return before the request completes
@@ -34,6 +35,11 @@ var ErrClosed = errors.New("aio: context closed")
 // never will (glibc analogue: a pool thread dying takes its queued
 // aiocbs with it). The next submission respawns a helper.
 var ErrHelperDied = errors.New("aio: helper thread died")
+
+// ErrQuarantined is returned by Submit once the context's restart
+// budget is exhausted (supervision plane installed, helper kept dying):
+// the machine degrades this tenant instead of thrashing on respawns.
+var ErrQuarantined = errors.New("aio: helper quarantined (restart budget exhausted)")
 
 // killedExitStatus is the fault-killed helper's thread exit status
 // (128+SIGKILL, matching the rest of the fault plane).
@@ -85,6 +91,13 @@ type Context struct {
 	closed    bool
 	dead      bool // the helper was fault-killed; respawn on next Submit
 
+	// restart, when a supervision plane is installed, is the context's
+	// respawn budget: backoff-delayed, quarantining after repeated
+	// deaths. Nil without a plane — respawn is then immediate and
+	// unbounded, the pre-supervision behavior.
+	restart     *supervise.Restarter
+	quarantined bool
+
 	// Stats.
 	submitted, completed, respawns uint64
 
@@ -104,6 +117,9 @@ func New(owner *kernel.Task) (*Context, error) {
 	if reg := owner.Kernel().Metrics(); reg != nil {
 		c.mDepth = reg.Histogram("aio.queue_depth")
 		c.mRespawns = reg.Counter("aio.respawns")
+	}
+	if p := supervise.ForKernel(owner.Kernel()); p != nil {
+		c.restart = p.Restarter("aio." + owner.Name())
 	}
 	return c, nil
 }
@@ -127,10 +143,16 @@ func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, 
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if c.quarantined {
+		return nil, ErrQuarantined
+	}
 	k := t.Kernel()
 	if c.dead {
 		// The previous helper was fault-killed; reap it and grow the
 		// pool back, exactly as glibc does after a pool thread exits.
+		// Under a supervision plane the regrowth is budgeted: the
+		// respawn waits out a jittered exponential backoff, and once the
+		// budget is spent the context quarantines instead of thrashing.
 		t.Join(c.helper)
 		c.helper = nil
 		c.dead = false
@@ -138,9 +160,23 @@ func (c *Context) Submit(t *kernel.Task, op Op, fd int, data []byte) (*Request, 
 		if c.mRespawns != nil {
 			c.mRespawns.Inc()
 		}
+		if c.restart != nil {
+			delay, ok := c.restart.Next(k.Engine().Now())
+			if !ok {
+				c.quarantined = true
+				return nil, ErrQuarantined
+			}
+			if delay > 0 {
+				t.Nanosleep(delay)
+			}
+		}
 	}
 	if c.helper == nil {
-		c.helper = t.Clone("aio-helper", kernel.PThreadFlags, c.helperBody)
+		helper, err := t.TryClone("aio-helper", kernel.PThreadFlags, c.helperBody)
+		if err != nil {
+			return nil, err
+		}
+		c.helper = helper
 	}
 	// The aiocb's completion word is plain user memory (no mmap
 	// system-call per request in glibc either).

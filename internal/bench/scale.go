@@ -183,6 +183,11 @@ func minRow(f func() (ScaleRow, error)) (ScaleRow, error) {
 // scaleRun wraps RunKernel with host-side wall-clock and allocation
 // accounting.
 func scaleRun(m *arch.Machine, body func(k *kernel.Kernel, root *kernel.Task)) (time.Duration, uint64, error) {
+	// Settle the heap first: rows run back to back in one process, and
+	// without the barrier a row pays the GC debt of whatever ran before
+	// it — which poisons cross-row comparisons like the supervision
+	// overhead column.
+	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/supervise"
+)
+
+// The chaos-at-scale suite (ulpbench -scale -chaos) proves the
+// supervision plane holds up at the machine's design-point task counts:
+//
+//   - spawn-join vs spawn-join-supervised: the same wave workload with
+//     and without the plane installed, so the watchdog's overhead on the
+//     spawn/block/wake fast paths is a directly diffable column (the
+//     budget is <= 5% wall per op on the 100k row);
+//   - chaos-fanin: n fault-robust waiters on one futex word under
+//     injected lost wakes, spurious wakes and EINTR, with supervision
+//     on. The row fails unless every waiter recovers within a bounded
+//     virtual window, no tenant is stranded, the futex table drains, and
+//     the watchdog saw neither deadlocks nor quarantines.
+//
+// Like the base scale suite, virtual columns are deterministic (minRow
+// asserts exact repeats — the fault plane and restart jitter are seeded
+// below) while wall/alloc columns are host-coloured; the JSON snapshot
+// therefore goes to its own file, not BENCH_scale.json.
+
+// chaosScaleSeed feeds the fault plane and the supervision plane's
+// restart jitter. Fixed, so every repeat replays the same fault
+// schedule and the virtual column repeats exactly.
+const chaosScaleSeed = 0xc4a05
+
+// Fault-robust waiter backoff bounds (same shape as the aio/blt
+// lost-wake recovery): a dropped wake costs at most the max backoff.
+const (
+	chaosWaitBase = 10 * sim.Microsecond
+	chaosWaitMax  = 1 * sim.Millisecond
+)
+
+// Recovery budget from the release flag being published to root
+// observing an empty futex word. Two components: a fixed fault-recovery
+// term (each timed wait re-checks the flag within chaosWaitMax, so a
+// lost wake costs at most one backoff), plus a per-task dispatch
+// allowance — the n woken waiters drain through the machine's few cores
+// at Θ(n) virtual cost (the base fan-in row runs ~0.3 µs/op on Wallaby
+// and ~1.6 µs/op on Albireo), and root's observation is queued behind
+// that herd. Recovery beyond the sum means the wake path stranded
+// someone.
+const (
+	chaosRecoveryFixed   = 10 * sim.Millisecond
+	chaosRecoveryPerTask = 2 * sim.Microsecond
+)
+
+func chaosRecoveryBound(n int) sim.Duration {
+	return chaosRecoveryFixed + sim.Duration(n)*chaosRecoveryPerTask
+}
+
+// FullChaosScaleConfig is the 100k-ULP chaos-at-scale configuration the
+// EXPERIMENTS.md numbers come from.
+func FullChaosScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Label:     "chaos-full",
+		SpawnJoin: []int{100_000},
+		FanIn:     []int{10_000, 100_000},
+	}
+}
+
+// QuickChaosScaleConfig is the CI-sized chaos-at-scale configuration
+// behind -scale -chaos -quick.
+func QuickChaosScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Label:     "chaos-quick",
+		SpawnJoin: []int{10_000},
+		FanIn:     []int{2_048},
+	}
+}
+
+// ChaosScale runs the chaos-at-scale suite on machine m. ChurnWords is
+// unused here; the base suite owns that series.
+func ChaosScale(m *arch.Machine, cfg ScaleConfig) (ScaleResult, error) {
+	res := ScaleResult{Machine: m, Config: cfg}
+	add := func(f func() (ScaleRow, error)) error {
+		row, err := minRow(f)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+	for _, n := range cfg.SpawnJoin {
+		bare, supd, err := pairedMinRows(
+			func() (ScaleRow, error) { return scaleSpawnJoin(m, n) },
+			func() (ScaleRow, error) { return chaosSpawnJoinSupervised(m, n) },
+		)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, bare, supd)
+	}
+	for _, n := range cfg.FanIn {
+		n := n
+		if err := add(func() (ScaleRow, error) { return chaosFanIn(m, n) }); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// pairedMinRows is minRow over two workloads with their repetitions
+// interleaved A,B,A,B,… instead of A×Runs then B×Runs. The wall columns
+// drift a few percent over a process's lifetime (heap growth, GC state)
+// even with the scaleRun GC barrier, so back-to-back series acquire a
+// positional bias about as large as the effect the supervision-overhead
+// column measures; alternating exposes both series to the same drift.
+func pairedMinRows(fa, fb func() (ScaleRow, error)) (ScaleRow, ScaleRow, error) {
+	bestA, err := fa()
+	if err != nil {
+		return bestA, ScaleRow{}, err
+	}
+	bestB, err := fb()
+	if err != nil {
+		return bestA, bestB, err
+	}
+	for i := 1; i < Runs; i++ {
+		if err := minInto(&bestA, fa); err != nil {
+			return bestA, bestB, err
+		}
+		if err := minInto(&bestB, fb); err != nil {
+			return bestA, bestB, err
+		}
+	}
+	return bestA, bestB, nil
+}
+
+// minInto folds one more repetition into best, with minRow's
+// determinism assertion on the virtual columns.
+func minInto(best *ScaleRow, f func() (ScaleRow, error)) error {
+	r, err := f()
+	if err != nil {
+		return err
+	}
+	if r.Virt != best.Virt || r.TablePeak != best.TablePeak || r.TableEnd != best.TableEnd {
+		return fmt.Errorf("%s n=%d: non-deterministic repeat (virt %v vs %v, table %d/%d vs %d/%d)",
+			best.Series, best.N, r.Virt, best.Virt, r.TablePeak, r.TableEnd, best.TablePeak, best.TableEnd)
+	}
+	if r.Wall < best.Wall {
+		best.Wall = r.Wall
+	}
+	if r.Allocs < best.Allocs {
+		best.Allocs = r.Allocs
+	}
+	return nil
+}
+
+// chaosSpawnJoinSupervised is scaleSpawnJoin with the supervision plane
+// installed (watchdog on, no limits): the overhead row. The workload is
+// identical, so any wall/op delta against the bare spawn-join row is the
+// plane's hook cost on the clone/block/unblock/exit fast paths.
+func chaosSpawnJoinSupervised(m *arch.Machine, n int) (ScaleRow, error) {
+	row := ScaleRow{Series: "spawn-join-supervised", N: n}
+	var bodyErr error
+	wall, allocs, err := scaleRun(m, func(k *kernel.Kernel, root *kernel.Task) {
+		e := k.Engine()
+		sup := supervise.New(k, supervise.Config{Seed: chaosScaleSeed})
+		sup.Install()
+		const wave = 256
+		kids := make([]*kernel.Task, 0, wave)
+		t0 := e.Now()
+		for done := 0; done < n; {
+			b := min(wave, n-done)
+			kids = kids[:0]
+			for i := 0; i < b; i++ {
+				kids = append(kids, root.Clone("sj", kernel.PThreadFlags, func(t *kernel.Task) int { return 0 }))
+			}
+			for _, c := range kids {
+				if root.Join(c) != 0 {
+					bodyErr = fmt.Errorf("spawn-join-supervised: child exited non-zero")
+					return
+				}
+			}
+			done += b
+		}
+		row.Virt = e.Now().Sub(t0)
+		row.TableEnd = k.FutexTableSize()
+		if dl := sup.Deadlocks(); len(dl) != 0 {
+			bodyErr = fmt.Errorf("spawn-join-supervised: watchdog reported %d deadlock(s) on a deadlock-free workload", len(dl))
+		}
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	row.Wall, row.Allocs = wall, allocs
+	return row, err
+}
+
+// chaosFanIn blocks n fault-robust waiters on one futex word under an
+// injected futex fault mix, then releases them through a flag write plus
+// a re-wake loop, with the supervision plane watching. The row errors if
+// recovery exceeds chaosRecoveryBound(n), any waiter is stranded, the
+// futex table retains entries, no fault actually fired, or the plane
+// recorded a deadlock or quarantine.
+func chaosFanIn(m *arch.Machine, n int) (ScaleRow, error) {
+	row := ScaleRow{Series: "chaos-fanin", N: n}
+	var bodyErr error
+	fail := func(format string, args ...interface{}) {
+		bodyErr = fmt.Errorf("chaos-fanin n=%d: "+format, append([]interface{}{n}, args...)...)
+	}
+	wall, allocs, err := scaleRun(m, func(k *kernel.Kernel, root *kernel.Task) {
+		e := k.Engine()
+		plane := fault.NewPlane(chaosScaleSeed, []fault.Spec{
+			{Site: fault.SiteFutexLostWake, Prob: 0.05, TaskPrefix: "cfw"},
+			{Site: fault.SiteFutexSpurious, Prob: 0.05, TaskPrefix: "cfw"},
+			{Site: fault.SiteFutexWait, Prob: 0.02, Err: "eintr", TaskPrefix: "cfw"},
+		})
+		k.SetFaultPlane(plane)
+		sup := supervise.New(k, supervise.Config{Seed: chaosScaleSeed})
+		sup.Install()
+		space := root.Space()
+		addr, merr := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "chaos-fanin-word", true, nil)
+		if merr != nil {
+			bodyErr = merr
+			return
+		}
+		t0 := e.Now()
+		waiters := make([]*kernel.Task, n)
+		for i := range waiters {
+			waiters[i] = root.Clone("cfw", kernel.PThreadFlags, func(t *kernel.Task) int {
+				// The release flag makes the waiter immune to every
+				// injected futex misbehaviour: a lost wake only costs the
+				// current backoff, a spurious wake or EINTR just
+				// re-checks.
+				var backoff sim.Duration
+				for {
+					v, rerr := t.Space().ReadU64(addr, nil)
+					if rerr != nil {
+						return 1
+					}
+					if v == 1 {
+						return 0
+					}
+					if backoff == 0 {
+						backoff = chaosWaitBase
+					} else if backoff < chaosWaitMax {
+						backoff *= 2
+					}
+					switch t.FutexWaitTimeout(addr, 0, backoff) {
+					case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut:
+					default:
+						return 1
+					}
+				}
+			})
+		}
+		// Let the herd park, publish the release flag, then re-wake while
+		// sleepers remain: an injected lost wake strands its target only
+		// until the next re-wake round or its own backoff timeout.
+		root.Nanosleep(200 * sim.Microsecond)
+		row.TablePeak = k.FutexTableSize()
+		space.WriteU64(addr, 1, nil)
+		wakeStart := e.Now()
+		root.FutexWake(addr, n)
+		for k.FutexWaiters(space.ID, addr) > 0 {
+			root.Nanosleep(20 * sim.Microsecond)
+			root.FutexWake(addr, n)
+		}
+		recovery := e.Now().Sub(wakeStart)
+		for _, w := range waiters {
+			if root.Join(w) != 0 {
+				fail("waiter exited non-zero")
+				return
+			}
+		}
+		row.Virt = e.Now().Sub(t0)
+		row.TableEnd = k.FutexTableSize()
+		switch {
+		case recovery > chaosRecoveryBound(n):
+			fail("recovery took %v, bound %v", recovery, chaosRecoveryBound(n))
+		case plane.Injections() == 0:
+			fail("fault plane fired nothing — the row proved nothing")
+		case row.TableEnd != 0:
+			fail("futex table retains %d entries at quiescence", row.TableEnd)
+		case len(sup.Deadlocks()) != 0:
+			fail("watchdog reported %d deadlock(s)", len(sup.Deadlocks()))
+		case sup.Quarantines() != 0:
+			fail("%d tenant(s) quarantined; the restart budget must not exhaust here", sup.Quarantines())
+		}
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	row.Wall, row.Allocs = wall, allocs
+	return row, err
+}
+
+// PrintChaosScale renders the chaos-at-scale suite: the shared row table
+// plus the supervision-overhead line the suite exists to pin.
+func PrintChaosScale(w io.Writer, r ScaleResult) {
+	PrintScale(w, r)
+	base := map[int]ScaleRow{}
+	for _, row := range r.Rows {
+		if row.Series == "spawn-join" {
+			base[row.N] = row
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Series != "spawn-join-supervised" {
+			continue
+		}
+		b, ok := base[row.N]
+		if !ok || b.WallPerOp() <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  supervision overhead @ %d: %+.1f%% wall/op (%.0f -> %.0f ns)\n",
+			row.N, 100*(row.WallPerOp()-b.WallPerOp())/b.WallPerOp(), b.WallPerOp(), row.WallPerOp())
+	}
+}

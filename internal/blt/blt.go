@@ -228,7 +228,7 @@ func (b *BLT) Couple() error {
 	if b.coupled {
 		return nil
 	}
-	if b.host.dead {
+	if b.host.dead && !b.host.canRespawn() {
 		return ErrHostDead
 	}
 	carrier := b.uc.Carrier() // the scheduler KC (Table I: KC1)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/supervise"
 	"repro/internal/uctx"
 )
 
@@ -20,6 +21,15 @@ type KCHost struct {
 	pool *Pool
 	task *kernel.Task
 	tc   *uctx.Context
+	name string
+	core int // the syscall core the KC is pinned to
+
+	// restart, when a supervision plane is installed, is this KC's
+	// respawn budget: a fault-killed KC is recreated (backoff-delayed,
+	// quarantining after repeated kills) instead of bouncing every
+	// couple request forever. Nil without a plane — the KC then stays
+	// dead, the pre-supervision behavior.
+	restart *supervise.Restarter
 
 	// queue holds BLTs whose UC wants to run coupled on this KC
 	// (couple requests, plus the initial KLT run at creation).
@@ -79,6 +89,9 @@ func (h *KCHost) adopt(b *BLT, creator *kernel.Task) error {
 // bounced, so it is bounced here instead, exactly as die would have.
 func (h *KCHost) enqueueCoupled(b *BLT, carrier *kernel.Task) {
 	carrier.Charge(h.pool.kern.Machine().Costs.RunQueueOp)
+	if h.dead && h.canRespawn() {
+		h.tryRespawn(carrier)
+	}
 	if h.dead {
 		b.coupled = false
 		b.coupleErr = ErrHostDead
@@ -88,6 +101,45 @@ func (h *KCHost) enqueueCoupled(b *BLT, carrier *kernel.Task) {
 	}
 	h.queue = append(h.queue, b)
 	h.slot.kick(carrier)
+}
+
+// canRespawn reports whether a dead KC may come back: only fault-killed
+// KCs with restart budget left qualify. A KC that exited naturally (all
+// residents done) stays dead, like any exited process.
+func (h *KCHost) canRespawn() bool {
+	return h.killed && h.restart != nil && !h.restart.Quarantined()
+}
+
+// tryRespawn brings a fault-killed KC back under the supervision plane's
+// restart budget: the requesting carrier waits out a jittered
+// exponential backoff, then a fresh trampoline context and a new kernel
+// task (same name, same syscall core) replace the dead ones. The
+// post-sleep dead re-check matters: several carriers can observe the
+// same death, and whoever respawns first covers the rest. On budget
+// exhaustion or thread-limit rejection the host stays dead and callers
+// fall through to the bounce path.
+func (h *KCHost) tryRespawn(carrier *kernel.Task) {
+	p := h.pool
+	delay, ok := h.restart.Next(p.kern.Engine().Now())
+	if !ok {
+		return // quarantined: this KC will not be coming back
+	}
+	if delay > 0 {
+		carrier.Nanosleep(delay)
+	}
+	if !h.dead {
+		return // a concurrent requester respawned it while we slept
+	}
+	tc := uctx.New("tc."+h.name, h.tcBody)
+	task, err := carrier.TryClonePinned("kc."+h.name, p.cfg.CloneFlags, h.core, h.main)
+	if err != nil {
+		return // thread limit: stay dead, bounce the request
+	}
+	h.tc = tc
+	h.task = task
+	h.dead = false
+	h.killed = false
+	p.emit(carrier, "supervise", "kc.respawn: kc.%s restarted on core %d", h.name, h.core)
 }
 
 func (h *KCHost) dequeue(t *kernel.Task) *BLT {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 	"repro/internal/uctx"
 )
 
@@ -292,9 +293,12 @@ func (p *Pool) Spawn(body Body, opts SpawnOpts) (*BLT, error) {
 func (p *Pool) newHost(name string) (*KCHost, error) {
 	core := p.cfg.SyscallCores[p.nextSC%len(p.cfg.SyscallCores)]
 	p.nextSC++
-	h := &KCHost{pool: p}
+	h := &KCHost{pool: p, name: name, core: core}
 	if err := h.slot.init(p, p.creator); err != nil {
 		return nil, err
+	}
+	if pl := supervise.ForKernel(p.kern); pl != nil {
+		h.restart = pl.Restarter("kc." + name)
 	}
 	// The trampoline context gets its own (small) stack.
 	tcStack, err := p.creator.Space().Mmap(TrampolineStackBytes, semProt,

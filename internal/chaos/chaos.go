@@ -30,6 +30,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 )
 
 // Config parameterizes one chaos run.
@@ -56,6 +57,16 @@ type Config struct {
 	// exploration. Unlike Trace and Metrics it perturbs the schedule, so
 	// the digest is only reproducible for a deterministic chooser.
 	Chooser sim.Chooser
+
+	// Supervise installs the supervision plane: the stall/deadlock
+	// watchdog plus restart budgets for fault-killed KCs and AIO helpers.
+	// It perturbs the schedule (watchdog ticks, budgeted respawns), so
+	// digests are comparable only among runs with the same setting. A run
+	// whose watchdog finds a wait-for cycle fails: under this fault mix
+	// the protocol must never deadlock.
+	Supervise bool
+	// StallHorizon overrides the watchdog's stall horizon (0 = default).
+	StallHorizon sim.Duration
 }
 
 // Digest is the deterministic fingerprint of one chaos run: two runs of
@@ -122,8 +133,15 @@ func SpecsString(specs []fault.Spec) string {
 
 // ReproCommand returns the ulpsim invocation that replays this run.
 func ReproCommand(cfg Config) string {
-	return fmt.Sprintf("ulpsim -chaos -machine %s -idle %s -signals %s -ulps %d -ops %d -seed %d -faults '%s'",
+	s := fmt.Sprintf("ulpsim -chaos -machine %s -idle %s -signals %s -ulps %d -ops %d -seed %d -faults '%s'",
 		cfg.Machine.Name, cfg.Idle, cfg.SigMode, cfg.ULPs, cfg.Ops, cfg.Seed, SpecsString(cfg.Specs))
+	if cfg.Supervise {
+		s += " -supervise"
+		if cfg.StallHorizon > 0 {
+			s += fmt.Sprintf(" -stall-horizon %g", cfg.StallHorizon.Microseconds())
+		}
+	}
+	return s
 }
 
 // expectedStatus is the exit status rank's program returns; a run loses a
@@ -184,6 +202,15 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 	}
 	plane := fault.NewPlane(cfg.Seed, cfg.Specs)
 	k.SetFaultPlane(plane)
+	var sup *supervise.Plane
+	if cfg.Supervise {
+		sup = supervise.New(k, supervise.Config{
+			StallHorizon: cfg.StallHorizon,
+			Seed:         cfg.Seed,
+			Metrics:      cfg.Metrics,
+		})
+		sup.Install()
+	}
 
 	img := &loader.Image{
 		Name: "chaos", PIE: true, TextSize: 4096,
@@ -287,6 +314,11 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 	if mismatches != 0 {
 		return fail("%d coupled getpid mismatches", mismatches)
 	}
+	if sup != nil {
+		if dl := sup.Deadlocks(); len(dl) != 0 {
+			return fail("supervision watchdog found %d wait-for cycle(s), first %v", len(dl), dl[0])
+		}
+	}
 	return d, plane.Stats(), nil
 }
 
@@ -308,7 +340,6 @@ func chaosMain(envI interface{}) int {
 	a := env.Arg.(*rankArg)
 	r := a.rng
 	rank := env.U.Rank
-	kcPID := env.U.KC().TGID()
 	rbuf := make([]byte, len(a.buf))
 	env.Decouple()
 	for i := 0; i < a.ops; i++ {
@@ -337,10 +368,13 @@ func chaosMain(envI interface{}) int {
 			}
 		case 8:
 			// Consistency probe: a coupled getpid must see the original
-			// KC's pid. If coupling is impossible (KC fault-killed) the
+			// KC's pid — read from the host at probe time, because under
+			// supervision a fault-killed KC may have been respawned with
+			// a fresh pid, and that new kernel state is what consistency
+			// now means. If coupling is impossible (KC dead for good) the
 			// probe is skipped — Exec guarantees fn never ran elsewhere.
 			var pid int
-			if err := env.Exec(func(kc *kernel.Task) { pid = kc.Getpid() }); err == nil && pid != kcPID {
+			if err := env.Exec(func(kc *kernel.Task) { pid = kc.Getpid() }); err == nil && pid != env.U.KC().TGID() {
 				a.mismatch()
 			}
 		case 9:

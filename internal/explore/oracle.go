@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/supervise"
 	"repro/internal/timeline"
 )
 
@@ -44,6 +45,35 @@ func CheckFutexConservation(k *kernel.Kernel) error {
 		return fmt.Errorf("futex table retains %d drained queues at quiescence", n)
 	}
 	return nil
+}
+
+// CheckDeadlockDetected asserts the supervision plane's watchdog
+// recorded a wait-for cycle over exactly the given PIDs (in any cycle
+// rotation). The chaos fuzzer and the deadlock scenario consume it: a
+// run that parks forever without the watchdog naming the cycle is a
+// detection failure, not just a hang.
+func CheckDeadlockDetected(p *supervise.Plane, pids ...int) error {
+	want := make(map[int]bool, len(pids))
+	for _, pid := range pids {
+		want[pid] = true
+	}
+	for _, d := range p.Deadlocks() {
+		if len(d.PIDs) != len(pids) {
+			continue
+		}
+		match := true
+		for _, pid := range d.PIDs {
+			if !want[pid] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return nil
+		}
+	}
+	return fmt.Errorf("supervise: watchdog recorded no wait-for cycle over PIDs %v (deadlocks: %v)",
+		pids, p.Deadlocks())
 }
 
 // CheckTimelineConservation checks that the scheduling timeline and the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/loader"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 	"repro/internal/timeline"
 )
 
@@ -37,7 +38,7 @@ func drain(e *sim.Engine, what string) error {
 }
 
 // ScenarioNames lists the scenarios ByName accepts.
-func ScenarioNames() []string { return []string{"pingpong", "blt-nn", "blt-mn"} }
+func ScenarioNames() []string { return []string{"pingpong", "blt-nn", "blt-mn", "deadlock"} }
 
 // ByName builds the named exploration scenario. mk constructs a fresh
 // machine per run (scenarios must share no state between runs); idle
@@ -50,6 +51,8 @@ func ByName(name string, mk func() *arch.Machine, idle blt.IdlePolicy) (Scenario
 		return BLT(mk, idle, false), nil
 	case "blt-mn":
 		return BLT(mk, idle, true), nil
+	case "deadlock":
+		return DeadlockScenario(mk), nil
 	}
 	return Scenario{}, fmt.Errorf("explore: unknown scenario %q (want one of %v)", name, ScenarioNames())
 }
@@ -129,6 +132,92 @@ func PingPong(mk func() *arch.Machine, rounds int) Scenario {
 				return err
 			}
 			return CheckTimelineConservation(k, tl)
+		},
+	}
+}
+
+// DeadlockScenario hand-builds the classic ABBA futex deadlock and
+// asserts the supervision plane's watchdog catches it: two threads each
+// sleep on a futex word holding the *other* thread's PID (the
+// FUTEX_LOCK_PI owner convention the wait-for graph understands), so
+// the graph contains the two-task cycle A→B→A with the joining root
+// hanging off it. The run is EXPECTED to park forever — the oracle is
+// that the watchdog flagged the stalls and recorded exactly that cycle
+// before the engine drained into deadlock.
+func DeadlockScenario(mk func() *arch.Machine) Scenario {
+	return Scenario{
+		Name: "deadlock",
+		Run: func(ch sim.Chooser) error {
+			e := sim.New()
+			e.SetChooser(ch)
+			e.SetTrapPanics(true)
+			defer e.Shutdown()
+			k := kernel.New(e, mk())
+			sup := supervise.New(k, supervise.Config{
+				Tick:         1 * sim.Millisecond,
+				StallHorizon: 200 * sim.Microsecond,
+			})
+			sup.Install()
+			var aPID, bPID int
+			root := k.NewTask("dl-root", k.NewAddressSpace(), func(t *kernel.Task) int {
+				wordA, err := t.Mmap(8, true)
+				if err != nil {
+					return 1
+				}
+				wordB, err := t.Mmap(8, true)
+				if err != nil {
+					return 1
+				}
+				start, err := t.Mmap(8, true)
+				if err != nil {
+					return 1
+				}
+				locker := func(word uint64) func(*kernel.Task) int {
+					return func(t *kernel.Task) int {
+						// Gate until the owner PIDs are published; the
+						// post-write start=1 makes a late arrival fall
+						// through with ErrFutexAgain instead of missing
+						// the wake.
+						switch t.FutexWait(start, 0) {
+						case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted:
+						default:
+							return 1
+						}
+						v, err := t.Space().ReadU64(word, nil)
+						if err != nil {
+							return 1
+						}
+						for {
+							// The word holds the owner's PID; the owner
+							// never unlocks.
+							switch t.FutexWait(word, v) {
+							case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted:
+							default:
+								return 1
+							}
+						}
+					}
+				}
+				a := t.Clone("dl-a", kernel.PThreadFlags, locker(wordB))
+				b := t.Clone("dl-b", kernel.PThreadFlags, locker(wordA))
+				aPID, bPID = a.PID(), b.PID()
+				t.Space().WriteU64(wordA, uint64(aPID), nil)
+				t.Space().WriteU64(wordB, uint64(bPID), nil)
+				t.Nanosleep(10 * sim.Microsecond) // let both park on the gate
+				t.Space().WriteU64(start, 1, nil)
+				t.FutexWake(start, 2) // release them in lockstep
+				t.Join(a)
+				t.Join(b)
+				return 0
+			})
+			k.Start(root, 0)
+			if err := drain(e, "deadlock"); err == nil {
+				return fmt.Errorf("deadlock: run drained cleanly; the ABBA cycle never formed")
+			}
+			if sup.StallCount() == 0 {
+				return fmt.Errorf("deadlock: tasks parked past the horizon but the watchdog flagged no stalls")
+			}
+			return CheckDeadlockDetected(sup, aPID, bPID)
 		},
 	}
 }

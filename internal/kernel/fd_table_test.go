@@ -1,0 +1,160 @@
+package kernel
+
+// Property tests for the dense-slice FDTable and its min-heap free list
+// (PR 6 replaced the map + linear-scan-from-3 table): heavy close/reopen
+// churn checked against a reference model, and the POSIX lowest-slot
+// reuse law checked directly.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+// refFDTable is the obviously-correct reference: a map plus a linear
+// scan upward from firstUserFD. The dense-slice table must agree with it
+// on every operation.
+type refFDTable struct {
+	files map[int]*fs.File
+}
+
+func (r *refFDTable) alloc(f *fs.File) int {
+	fd := firstUserFD
+	for r.files[fd] != nil {
+		fd++
+	}
+	r.files[fd] = f
+	return fd
+}
+
+func (r *refFDTable) remove(fd int) *fs.File {
+	f := r.files[fd]
+	delete(r.files, fd)
+	return f
+}
+
+// TestFDTableChurnAgainstReference drives 20k random open/close/lookup
+// operations through both implementations with a fixed seed and demands
+// exact agreement: same descriptor from every Alloc (the lowest-free
+// law), same file from every Get, same open count throughout.
+func TestFDTableChurnAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xfd7ab1e))
+	ft := NewFDTable()
+	ref := &refFDTable{files: map[int]*fs.File{}}
+	// open tracks live descriptors for random picks (order irrelevant;
+	// closes swap-remove), kept incrementally so the test stays fast.
+	var open []int
+	for op := 0; op < 20_000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(open) == 0: // open
+			f := &fs.File{}
+			got, want := ft.Alloc(f), ref.alloc(f)
+			if got != want {
+				t.Fatalf("op %d: Alloc returned fd %d, lowest free is %d", op, got, want)
+			}
+			open = append(open, got)
+		case r < 8: // close a random open fd
+			i := rng.Intn(len(open))
+			fd := open[i]
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+			got, err := ft.Remove(fd)
+			if err != nil {
+				t.Fatalf("op %d: Remove(%d): %v", op, fd, err)
+			}
+			if want := ref.remove(fd); got != want {
+				t.Fatalf("op %d: Remove(%d) returned wrong file", op, fd)
+			}
+		default: // look up a random open fd
+			fd := open[rng.Intn(len(open))]
+			got, err := ft.Get(fd)
+			if err != nil {
+				t.Fatalf("op %d: Get(%d): %v", op, fd, err)
+			}
+			if got != ref.files[fd] {
+				t.Fatalf("op %d: Get(%d) returned wrong file", op, fd)
+			}
+		}
+		if ft.Len() != len(ref.files) {
+			t.Fatalf("op %d: Len=%d, reference holds %d", op, ft.Len(), len(ref.files))
+		}
+	}
+	// Closed and out-of-range descriptors must error, not misresolve.
+	for _, fd := range []int{0, 2, firstUserFD + 1_000_000} {
+		if _, err := ft.Get(fd); err == nil {
+			t.Errorf("Get(%d) succeeded on a closed/out-of-range fd", fd)
+		}
+	}
+}
+
+// TestFDTableLowestSlotReuse closes a scattered batch of descriptors and
+// checks the reopen order: each Alloc must fill the holes strictly
+// lowest-first before the table grows again.
+func TestFDTableLowestSlotReuse(t *testing.T) {
+	ft := NewFDTable()
+	const n = 64
+	for i := 0; i < n; i++ {
+		ft.Alloc(&fs.File{})
+	}
+	closed := []int{firstUserFD + 41, firstUserFD + 3, firstUserFD + 17,
+		firstUserFD + 60, firstUserFD + 4, firstUserFD + 29}
+	for _, fd := range closed {
+		if _, err := ft.Remove(fd); err != nil {
+			t.Fatalf("Remove(%d): %v", fd, err)
+		}
+	}
+	sort.Ints(closed)
+	for _, want := range closed {
+		if got := ft.Alloc(&fs.File{}); got != want {
+			t.Fatalf("Alloc returned fd %d, want lowest hole %d", got, want)
+		}
+	}
+	// Holes exhausted: the next descriptor extends the table.
+	if got, want := ft.Alloc(&fs.File{}), firstUserFD+n; got != want {
+		t.Errorf("post-holes Alloc returned %d, want fresh top slot %d", got, want)
+	}
+}
+
+// TestFDTableCopyIndependence forks the table mid-churn (fork-style
+// Clone without CloneFiles) and checks the copy preserves descriptor
+// numbers exactly while sharing no free-list state with the parent.
+func TestFDTableCopyIndependence(t *testing.T) {
+	ft := NewFDTable()
+	files := make([]*fs.File, 8)
+	for i := range files {
+		files[i] = &fs.File{}
+		ft.Alloc(files[i])
+	}
+	ft.Remove(firstUserFD + 2)
+	ft.Remove(firstUserFD + 5)
+
+	cp := ft.Copy()
+	if cp.Len() != ft.Len() {
+		t.Fatalf("copy Len=%d, want %d", cp.Len(), ft.Len())
+	}
+	for i, f := range files {
+		fd := firstUserFD + i
+		if i == 2 || i == 5 {
+			if _, err := cp.Get(fd); err == nil {
+				t.Errorf("copy resolves closed fd %d", fd)
+			}
+			continue
+		}
+		if got, err := cp.Get(fd); err != nil || got != f {
+			t.Errorf("copy Get(%d) = %v, %v; want original file", fd, got, err)
+		}
+	}
+	// Divergence: the parent consumes hole 2; the copy's own free list
+	// must still hand out 2 first, and parent mutations must not leak in.
+	if got, want := ft.Alloc(&fs.File{}), firstUserFD+2; got != want {
+		t.Fatalf("parent Alloc=%d, want %d", got, want)
+	}
+	if got, want := cp.Alloc(&fs.File{}), firstUserFD+2; got != want {
+		t.Errorf("copy Alloc=%d, want %d (free list must be independent)", got, want)
+	}
+	if got, want := cp.Alloc(&fs.File{}), firstUserFD+5; got != want {
+		t.Errorf("copy second Alloc=%d, want %d", got, want)
+	}
+}

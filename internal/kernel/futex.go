@@ -139,6 +139,24 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 		return ErrFutexAgain
 	}
 	key := futexKey{t.space.ID, addr}
+	if k.super != nil {
+		// Admission runs against a non-creating lookup: rejecting the
+		// wait must not leave an empty queue populating the table.
+		waiters := 0
+		if q0 := k.futexes.lookup(key); q0 != nil {
+			waiters = q0.Len()
+		}
+		if err := k.super.AdmitFutexWait(t, waiters); err != nil {
+			k.sysExit(t, fr)
+			return err
+		}
+		if timeout > 0 {
+			if err := k.super.AdmitTimer(t); err != nil {
+				k.sysExit(t, fr)
+				return err
+			}
+		}
+	}
 	q := k.futexes.queue(key)
 	if timeout > 0 {
 		// block() below will bump waitSeq to exactly this value (nothing
@@ -155,6 +173,7 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 		k.engine.After(timeout, k.getFutexTimer(t, t.waitSeq+1).fn)
 	}
 	k.fxStats.Blocked++
+	k.noteWait(t, WaitFutex, addr, nil)
 	switch k.block(t, q) {
 	case WakeInterrupted:
 		k.fxStats.Interrupted++
@@ -334,6 +353,14 @@ type futexTimer struct {
 	task *Task
 	seq  uint64
 	fn   func()
+
+	// armed is the pool-hygiene tripwire: true from handout until the
+	// timer fires. The pool's invariant is "pooled object has no pending
+	// event" — objects recycle only in fire — and the assertion in
+	// getFutexTimer turns any future violation (say, a cancel path that
+	// pools an armed timer) into a panic at handout rather than a stale
+	// timer silently waking another waiter's sleep.
+	armed bool
 }
 
 // maxTimerPool bounds the kernel's timer-object pools, mirroring the
@@ -347,19 +374,27 @@ func (k *Kernel) getFutexTimer(t *Task, seq uint64) *futexTimer {
 		ft = k.futexTimers[n-1]
 		k.futexTimers[n-1] = nil
 		k.futexTimers = k.futexTimers[:n-1]
+		if ft.armed {
+			panic(fmt.Sprintf("kernel: futex timer pool handed out an armed timer (task=%s seq=%d)",
+				pidString(ft.task), ft.seq))
+		}
 	} else {
 		ft = &futexTimer{k: k}
 		ft.fn = ft.fire
 	}
-	ft.task, ft.seq = t, seq
+	ft.task, ft.seq, ft.armed = t, seq, true
 	return ft
 }
 
 func (ft *futexTimer) fire() {
 	k, t, seq := ft.k, ft.task, ft.seq
 	ft.task = nil
+	ft.armed = false
 	if len(k.futexTimers) < maxTimerPool {
 		k.futexTimers = append(k.futexTimers, ft)
+	}
+	if k.super != nil {
+		k.super.OnTimerFired(t)
 	}
 	// The sleep is identified by its waitSeq — bumped by every blocking
 	// wait on any path — so a stale timer can never wake a later sleep,

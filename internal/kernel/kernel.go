@@ -63,6 +63,10 @@ type Kernel struct {
 	// faults, when set, is the fault-injection plane (see fault.go).
 	faults FaultPlane
 
+	// super, when set, is the supervision plane (see supervise.go):
+	// wait-for-graph bookkeeping hooks plus resource-limit admission.
+	super Supervisor
+
 	// timeline, when set, receives one record per contiguous span a
 	// task occupies a core (see SetTimeline).
 	timeline TimelineRecorder

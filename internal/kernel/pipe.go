@@ -71,6 +71,7 @@ func (w *PipeWriter) Write(t *Task, data []byte) (int, error) {
 		if space == 0 {
 			// Buffer full: sleep until a reader drains it.
 			t.Charge(k.machine.Costs.SyscallEntry)
+			k.noteWait(t, WaitPipeWrite, 0, nil)
 			k.block(t, &p.writeq)
 			k.sysExit(t, fr)
 			continue
@@ -118,6 +119,7 @@ func (r *PipeReader) Read(t *Task, buf []byte) (int, error) {
 			return 0, nil // EOF
 		}
 		t.Charge(k.machine.Costs.SyscallEntry)
+		k.noteWait(t, WaitPipeRead, 0, nil)
 		k.block(t, &p.readq)
 		k.sysExit(t, fr)
 	}

@@ -99,6 +99,10 @@ func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
 	if t.state != TaskNew && t.state != TaskBlocked {
 		panic(fmt.Sprintf("kernel: makeRunnable of %s in state %v", pidString(t), t.state))
 	}
+	if k.super != nil && t.state == TaskBlocked {
+		k.super.OnUnblock(t)
+		t.waitClass, t.waitAddr, t.waitTarget = WaitNone, 0, nil
+	}
 	t.blockedOn = nil
 	c := k.pickCore(t)
 	if c.current == nil {
@@ -166,6 +170,9 @@ func (k *Kernel) block(t *Task, q *WaitQueue) WakeReason {
 		q.push(t)
 		t.blockedOn = q
 	}
+	if k.super != nil {
+		k.super.OnBlock(t)
+	}
 	c := t.core
 	k.noteStop(c, t)
 	t.core = nil
@@ -217,6 +224,9 @@ func (k *Kernel) exitTask(t *Task, status int) {
 	t.Charge(k.machine.Costs.ExitCost)
 	t.exited = true
 	t.exitCode = status
+	if k.super != nil {
+		k.super.OnExit(t)
+	}
 	if k.tracing() {
 		k.trace("exit %s status=%d", pidString(t), status)
 	}
@@ -287,6 +297,11 @@ type sleepTimer struct {
 	k  *Kernel
 	q  WaitQueue
 	fn func()
+
+	// armed mirrors futexTimer.armed: pooled objects must have no
+	// pending event, and the handout assertion catches any path that
+	// would recycle a live timer (see getFutexTimer).
+	armed bool
 }
 
 func (k *Kernel) getSleepTimer() *sleepTimer {
@@ -294,15 +309,20 @@ func (k *Kernel) getSleepTimer() *sleepTimer {
 		st := k.sleepTimers[n-1]
 		k.sleepTimers[n-1] = nil
 		k.sleepTimers = k.sleepTimers[:n-1]
+		if st.armed {
+			panic("kernel: sleep timer pool handed out an armed timer")
+		}
+		st.armed = true
 		return st
 	}
-	st := &sleepTimer{k: k}
+	st := &sleepTimer{k: k, armed: true}
 	st.fn = st.fire
 	return st
 }
 
 func (st *sleepTimer) fire() {
 	k := st.k
+	st.armed = false
 	k.WakeOne(&st.q, k.machine.Costs.KernelSwitch)
 	if len(k.sleepTimers) < maxTimerPool {
 		k.sleepTimers = append(k.sleepTimers, st)
@@ -316,6 +336,7 @@ func (t *Task) Nanosleep(d sim.Duration) {
 	t.Charge(k.machine.Costs.SyscallEntry)
 	st := k.getSleepTimer()
 	k.engine.After(d, st.fn)
+	k.noteWait(t, WaitSleep, 0, nil)
 	k.block(t, &st.q)
 	k.sysExit(t, fr)
 }
@@ -351,6 +372,7 @@ func (t *Task) Wait() (pid, status int, err error) {
 			k.sysExit(t, fr)
 			return 0, 0, ErrNoChild
 		}
+		k.noteWait(t, WaitChild, 0, nil)
 		if reason := k.block(t, &t.childWait); reason == WakeInterrupted {
 			k.sysExit(t, fr)
 			return 0, 0, ErrInterrupted
@@ -365,6 +387,7 @@ func (t *Task) Join(target *Task) int {
 	fr := k.sysEnter(t, "join")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	for !target.exited {
+		k.noteWait(t, WaitJoin, 0, target)
 		k.block(t, &target.doneQ)
 	}
 	k.sysExit(t, fr)

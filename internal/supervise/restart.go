@@ -1,0 +1,143 @@
+package supervise
+
+import "repro/internal/sim"
+
+// RestartPolicy parameterizes a Restarter: seeded, jittered exponential
+// backoff with a failure budget. Zero fields take defaults.
+type RestartPolicy struct {
+	// Base is the backoff after the first failure in a window; each
+	// further failure doubles it up to Max.
+	Base sim.Duration
+	// Max caps the backoff.
+	Max sim.Duration
+	// Window is the sliding failure window: a failure more than Window
+	// after the window opened resets the count (the entity proved it can
+	// run, so its budget refills).
+	Window sim.Duration
+	// Budget is how many failures one window tolerates; exceeding it
+	// quarantines the entity (no further restarts).
+	Budget int
+}
+
+// Policy defaults.
+const (
+	DefaultRestartBase   = 50 * sim.Microsecond
+	DefaultRestartMax    = 5 * sim.Millisecond
+	DefaultRestartWindow = 10 * sim.Millisecond
+	DefaultRestartBudget = 8
+)
+
+func (rp RestartPolicy) withDefaults() RestartPolicy {
+	if rp.Base == 0 {
+		rp.Base = DefaultRestartBase
+	}
+	if rp.Max == 0 {
+		rp.Max = DefaultRestartMax
+	}
+	if rp.Window == 0 {
+		rp.Window = DefaultRestartWindow
+	}
+	if rp.Budget == 0 {
+		rp.Budget = DefaultRestartBudget
+	}
+	return rp
+}
+
+// Restarter is one entity's restart budget (an AIO helper, a KC host).
+// Deterministic: the jitter RNG lane is derived from the plane seed and
+// the entity name, so equal seeds make equal respawn decisions.
+type Restarter struct {
+	plane *Plane
+	pol   RestartPolicy
+	rng   *sim.RNG
+	name  string
+
+	failures    int
+	windowStart sim.Time
+	quarantined bool
+	allowed     uint64
+}
+
+// Restarter creates (and registers) a restart budget for the named
+// entity under the plane's policy.
+func (p *Plane) Restarter(name string) *Restarter {
+	r := &Restarter{
+		plane: p,
+		pol:   p.cfg.Restart,
+		rng:   sim.NewRNG(mixSeed(p.cfg.Seed, fnv64(name))),
+		name:  name,
+	}
+	p.restarters = append(p.restarters, r)
+	return r
+}
+
+// Next records one failure at virtual time now and answers whether a
+// respawn is allowed — and if so, after what backoff delay. Once the
+// budget is exhausted within the window the entity is quarantined and
+// every later call returns false.
+func (r *Restarter) Next(now sim.Time) (delay sim.Duration, ok bool) {
+	if r.quarantined {
+		return 0, false
+	}
+	if r.failures > 0 && now.Sub(r.windowStart) > r.pol.Window {
+		r.failures = 0
+	}
+	if r.failures == 0 {
+		r.windowStart = now
+	}
+	r.failures++
+	if r.failures > r.pol.Budget {
+		r.quarantined = true
+		r.plane.quarantines++
+		if r.plane.mQuarantines != nil {
+			r.plane.mQuarantines.Inc()
+		}
+		if tr := r.plane.e.Tracer(); tr != nil {
+			tr.Add(now, "supervise", "quarantine: %s exhausted its restart budget (%d failures in %v)",
+				r.name, r.failures-1, r.pol.Window)
+		}
+		return 0, false
+	}
+	d := r.pol.Base
+	for i := 1; i < r.failures && d < r.pol.Max; i++ {
+		d *= 2
+	}
+	if d > r.pol.Max {
+		d = r.pol.Max
+	}
+	// Jitter ±25% so respawns of distinct entities decorrelate.
+	delay = r.rng.Duration(d-d/4, d+d/4)
+	r.allowed++
+	if r.plane.mRestarts != nil {
+		r.plane.mRestarts.Inc()
+	}
+	return delay, true
+}
+
+// Quarantined reports whether the budget is exhausted.
+func (r *Restarter) Quarantined() bool { return r.quarantined }
+
+// Allowed reports how many respawns the budget granted.
+func (r *Restarter) Allowed() uint64 { return r.allowed }
+
+// Name returns the entity name.
+func (r *Restarter) Name() string { return r.name }
+
+// fnv64 hashes a name to a seed lane (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mixSeed combines the plane seed with a lane (SplitMix64 finalizer), so
+// per-entity streams are independent, as internal/fault does per spec.
+func mixSeed(seed, lane uint64) uint64 {
+	z := seed + lane*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,220 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newKernel(t *testing.T) (*sim.Engine, *kernel.Kernel) {
+	t.Helper()
+	e := sim.New()
+	return e, kernel.New(e, arch.Wallaby())
+}
+
+// TestLimitsRejectAtAdmission drives each rlimit over its cap and checks
+// the kernel's admission sites fail with the matching error, count the
+// hit, and create no state (the futex table in particular must not grow
+// from a rejected wait).
+func TestLimitsRejectAtAdmission(t *testing.T) {
+	e, k := newKernel(t)
+	p := New(k, Config{
+		Tick: -1, // limits only
+		Limits: Limits{
+			MaxThreads:      2,
+			MaxFDs:          2,
+			MaxTimers:       1,
+			MaxFutexWaiters: 1,
+		},
+	})
+	p.Install()
+	space := k.NewAddressSpace()
+	a, err := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "word-a", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "word-b", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cloneErr, fdErr error
+	root := k.NewTask("root", space, func(task *Task) int { return rootBody(t, k, task, a, b, &cloneErr, &fdErr) })
+	k.Start(root, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if !errors.Is(cloneErr, kernel.ErrThreadLimit) {
+		t.Errorf("third clone: %v, want ErrThreadLimit", cloneErr)
+	}
+	if !errors.Is(fdErr, kernel.ErrFDLimit) {
+		t.Errorf("third open: %v, want ErrFDLimit", fdErr)
+	}
+	hits := p.LimitHits()
+	if hits.Threads != 1 || hits.FDs != 1 || hits.Timers != 1 || hits.FutexWaiters != 1 {
+		t.Errorf("limit hits %+v, want one per limit", hits)
+	}
+	if n := k.FutexTableSize(); n != 0 {
+		t.Errorf("futex table retains %d queues (rejected wait populated the table?)", n)
+	}
+}
+
+type Task = kernel.Task
+
+func rootBody(t *testing.T, k *kernel.Kernel, task *Task, a, b uint64, cloneErr, fdErr *error) int {
+	// MaxFutexWaiters=1 per word: c1 parks on a, then c2's wait on a is
+	// rejected and it parks on b instead — leaving both children LIVE,
+	// which is what makes the MaxThreads=2 check below meaningful (an
+	// exited child is uncounted the moment it exits).
+	var waitErr error
+	c1 := task.Clone("kid", kernel.PThreadFlags, func(c *Task) int {
+		c.FutexWait(a, 0)
+		return 0
+	})
+	task.Nanosleep(10 * sim.Microsecond) // c1 parked on a
+	c2 := task.Clone("kid2", kernel.PThreadFlags, func(c *Task) int {
+		waitErr = c.FutexWait(a, 0)
+		c.FutexWait(b, 0)
+		return 0
+	})
+	task.Nanosleep(10 * sim.Microsecond) // c2 bounced off a, parked on b
+	if !errors.Is(waitErr, kernel.ErrFutexWaiterLimit) {
+		t.Errorf("second waiter on a: %v, want ErrFutexWaiterLimit", waitErr)
+	}
+	if _, err := task.TryClone("kid3", kernel.PThreadFlags, func(c *Task) int { return 0 }); err == nil {
+		t.Errorf("third clone admitted over MaxThreads=2")
+	} else {
+		*cloneErr = err
+	}
+
+	// MaxTimers=1 per task: while one timeout is armed, arming a second
+	// on the same task must reject. One task cannot hold two futex
+	// timeouts at once through the syscall surface, so exercise the
+	// admission pair directly, then release the slot as a timer fire
+	// would.
+	if err := k.Supervisor().AdmitTimer(task); err != nil {
+		t.Errorf("first AdmitTimer: %v", err)
+	}
+	if err := k.Supervisor().AdmitTimer(task); !errors.Is(err, kernel.ErrTimerLimit) {
+		t.Errorf("second AdmitTimer: %v, want ErrTimerLimit", err)
+	}
+	k.Supervisor().OnTimerFired(task) // release the armed slot
+
+	// MaxFDs=2 per table.
+	fd1, err := task.Open("/a", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Errorf("open 1: %v", err)
+	}
+	if _, err := task.Open("/b", fs.OCreate|fs.ORdWr); err != nil {
+		t.Errorf("open 2: %v", err)
+	}
+	if _, err := task.Open("/c", fs.OCreate|fs.ORdWr); err == nil {
+		t.Errorf("third open admitted over MaxFDs=2")
+	} else {
+		*fdErr = err
+	}
+	task.Close(fd1)
+	if _, err := task.Open("/c", fs.OCreate|fs.ORdWr); err != nil {
+		t.Errorf("open after close: %v (closed fd not released from the cap?)", err)
+	}
+
+	task.FutexWake(a, 1)
+	task.FutexWake(b, 1)
+	task.Join(c1)
+	task.Join(c2)
+	return 0
+}
+
+// TestRestarterBackoffAndQuarantine checks the budget arithmetic: backoff
+// doubles from Base to Max with ±25% jitter, the window resets the
+// failure count, and exhausting the budget quarantines permanently.
+func TestRestarterBackoffAndQuarantine(t *testing.T) {
+	_, k := newKernel(t)
+	pol := RestartPolicy{Base: 100 * sim.Microsecond, Max: 800 * sim.Microsecond,
+		Window: 10 * sim.Millisecond, Budget: 4}
+	p := New(k, Config{Tick: -1, Restart: pol, Seed: 42})
+	r := p.Restarter("unit")
+	now := sim.Time(0)
+	wantCenters := []sim.Duration{100, 200, 400, 800} // µs; capped at Max
+	for i, c := range wantCenters {
+		center := c * sim.Microsecond
+		d, ok := r.Next(now)
+		if !ok {
+			t.Fatalf("failure %d: quarantined inside the budget", i+1)
+		}
+		if lo, hi := center-center/4, center+center/4; d < lo || d > hi {
+			t.Errorf("failure %d: backoff %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+		now = now.Add(time100us())
+	}
+	if d, ok := r.Next(now); ok {
+		t.Fatalf("failure 5 allowed (%v) over Budget=4", d)
+	}
+	if !r.Quarantined() {
+		t.Error("restarter not quarantined after exhausting its budget")
+	}
+	if _, ok := r.Next(now.Add(1 * sim.Second)); ok {
+		t.Error("quarantine lifted by time passing; must be permanent")
+	}
+	if got := p.Quarantines(); got != 1 {
+		t.Errorf("plane counts %d quarantines, want 1", got)
+	}
+	if got := r.Allowed(); got != 4 {
+		t.Errorf("restarter granted %d respawns, want 4", got)
+	}
+
+	// A fresh lane that fails slower than the window never escalates.
+	s := p.Restarter("slow")
+	now = sim.Time(0)
+	for i := 0; i < 20; i++ {
+		d, ok := s.Next(now)
+		if !ok {
+			t.Fatalf("slow failure %d quarantined despite window resets", i+1)
+		}
+		if lo, hi := pol.Base-pol.Base/4, pol.Base+pol.Base/4; d < lo || d > hi {
+			t.Errorf("slow failure %d: backoff %v not at Base (window did not reset)", i+1, d)
+		}
+		now = now.Add(pol.Window + 1*sim.Microsecond)
+	}
+}
+
+func time100us() sim.Duration { return 100 * sim.Microsecond }
+
+// TestRestarterDeterminism: same seed, same lane name → identical delay
+// sequences; a different lane diverges.
+func TestRestarterDeterminism(t *testing.T) {
+	mk := func(seed uint64, lane string) []sim.Duration {
+		_, k := newKernel(t)
+		p := New(k, Config{Tick: -1, Seed: seed})
+		r := p.Restarter(lane)
+		var ds []sim.Duration
+		for i := 0; i < 5; i++ {
+			d, ok := r.Next(sim.Time(0))
+			if !ok {
+				t.Fatal("quarantined inside default budget")
+			}
+			ds = append(ds, d)
+		}
+		return ds
+	}
+	a, b := mk(7, "kc.x"), mk(7, "kc.x")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed+lane diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := mk(7, "kc.y")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct lanes produced identical jitter sequences")
+	}
+}
