@@ -38,6 +38,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 )
 
 const (
@@ -61,8 +62,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to "+jsonPath)
 	metricsJSON := flag.Bool("metrics-json", false, "aggregate kernel metrics over every run into the JSON report (implies -json)")
 	reportPath := flag.String("report", "", "write a full markdown report to this file (runs everything)")
+	probeStr := flag.String("probe", "", "with -scale: attach stock probes to every row's kernel (e.g. 'slo:p99_us=500'); a failing SLO check fails the row")
 	flag.Parse()
 	bench.Runs = *runs
+	if *probeStr != "" {
+		specs, err := probe.ParseSpecs(*probeStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+		bench.ProbeSpecs = specs
+	}
 	bench.Parallelism = *parallel
 	if *metricsJSON {
 		*jsonOut = true

@@ -40,6 +40,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/loader"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 	"repro/internal/timeline"
@@ -74,22 +75,28 @@ func main() {
 		exploreRuns  = flag.Int("explore-runs", 64, "number of walks (random) or run budget (dfs, 0 = unbounded)")
 		exploreDepth = flag.Int("explore-depth", 4, "dfs decision-depth cap")
 		exploreTrace = flag.String("explore-trace", "", "replay this comma-separated decision trace instead of exploring")
+		probeStr     = flag.String("probe", "", "stock probe specs, e.g. 'throttle:task=worker,interval_us=50;slo:p99_us=800' (see -probe-list)")
+		probeList    = flag.Bool("probe-list", false, "list attach points and stock probes, then exit")
 	)
 	flag.Parse()
+	if *probeList {
+		fmt.Print(probe.ListStock())
+		return
+	}
 	var err error
 	if *traceFormat != "text" && *traceFormat != "chrome" {
 		err = fmt.Errorf("unknown trace format %q (want text or chrome)", *traceFormat)
 	} else if *chaosMode {
 		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults,
-			*tracePath, *traceCap, *traceFormat, *showMetrics, *superviseOn, *stallUS)
+			*tracePath, *traceCap, *traceFormat, *showMetrics, *superviseOn, *stallUS, *probeStr)
 	} else if *exploreMode {
 		err = runExplore(*machineName, *idle, *exploreScen, *explorePol,
-			*exploreRuns, *exploreDepth, *seed, *exploreTrace)
+			*exploreRuns, *exploreDepth, *seed, *exploreTrace, *probeStr)
 	} else {
 		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
 			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
 			*traceFormat, *showMetrics, *workSteal, *preemptUS, *showTimeline,
-			*seed, *faults, *superviseOn, *stallUS)
+			*seed, *faults, *superviseOn, *stallUS, *probeStr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ulpsim:", err)
@@ -135,7 +142,7 @@ func dumpMetrics(reg *metrics.Registry) error {
 // digest.
 func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string,
 	tracePath string, traceCap int, traceFormat string, showMetrics bool,
-	superviseOn bool, stallUS float64) error {
+	superviseOn bool, stallUS float64, probeStr string) error {
 	m := arch.ByName(machineName)
 	if m == nil {
 		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
@@ -150,10 +157,17 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 			return err
 		}
 	}
+	var probes []probe.Spec
+	if probeStr != "" {
+		if probes, err = probe.ParseSpecs(probeStr); err != nil {
+			return err
+		}
+	}
 	cfg := chaos.Config{
 		Machine: m, Seed: seed, Specs: specs,
 		ULPs: ulps, Ops: ops, Idle: idlePolicy, SigMode: sigMode,
 		Supervise: superviseOn, StallHorizon: sim.FromUS(stallUS),
+		Probes: probes,
 	}
 	cfg1 := cfg
 	var tracer *sim.Tracer
@@ -178,7 +192,11 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 	fmt.Printf("workload       %d ULPs x %d ops, seed %d\n", ulps, ops, seed)
 	fmt.Printf("digest         %s\n", d1)
 	for _, line := range stats {
-		fmt.Printf("fault          %s\n", line)
+		if rest, ok := strings.CutPrefix(line, "probe "); ok {
+			fmt.Printf("probe          %s\n", rest)
+		} else {
+			fmt.Printf("fault          %s\n", line)
+		}
 	}
 	if !d1.Equal(d2) {
 		return fmt.Errorf("NONDETERMINISTIC:\n  run1: %s\n  run2: %s\nrepro: %s",
@@ -203,7 +221,14 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 // decision prefix and printed with the exact replay command; -explore-trace
 // replays such a prefix deterministically.
 func runExplore(machineName, idle, scenario, policyStr string,
-	runs, depth int, seed uint64, traceStr string) error {
+	runs, depth int, seed uint64, traceStr, probeStr string) error {
+	if probeStr != "" {
+		specs, err := probe.ParseSpecs(probeStr)
+		if err != nil {
+			return err
+		}
+		explore.ProbeSpecs = specs
+	}
 	var mk func() *arch.Machine
 	switch strings.ToLower(machineName) {
 	case "wallaby":
@@ -289,7 +314,7 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
 	traceFormat string, showMetrics bool,
 	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string,
-	superviseOn bool, stallUS float64) error {
+	superviseOn bool, stallUS float64, probeStr string) error {
 
 	m := arch.ByName(machineName)
 	if m == nil {
@@ -323,6 +348,14 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		}
 		plane = fault.NewPlane(seed, specs)
 		k.SetFaultPlane(plane)
+	}
+	var atts []*probe.Attachment
+	if probeStr != "" {
+		specs, err := probe.ParseSpecs(probeStr)
+		if err != nil {
+			return err
+		}
+		atts = probe.AttachSpecs(k.Probes(), specs)
 	}
 	var rec *timeline.Recorder
 	if showTimeline {
@@ -424,6 +457,18 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	if sup != nil {
 		fmt.Printf("supervision    %s\n", sup.Summary())
 	}
+	var sloErr error
+	for _, a := range atts {
+		if a.Report != nil {
+			fmt.Printf("probe          %s\n", a.Report())
+		}
+		if a.Check != nil {
+			if err := a.Check(); err != nil {
+				fmt.Printf("probe          CHECK FAILED: %v\n", err)
+				sloErr = err
+			}
+		}
+	}
 	for _, s := range rtRef.Pool().Schedulers() {
 		fmt.Printf("scheduler c%-2d  %d dispatches, %d steals, %v spun idle\n",
 			s.Core(), s.Dispatches(), s.Steals(), s.SpunIdle())
@@ -452,9 +497,11 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		if plane != nil {
 			plane.PublishMetrics(reg)
 		}
-		return dumpMetrics(reg)
+		if err := dumpMetrics(reg); err != nil {
+			return err
+		}
 	}
-	return nil
+	return sloErr
 }
 
 func seq(start, n int) []int {

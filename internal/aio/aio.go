@@ -19,6 +19,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 )
@@ -228,11 +229,11 @@ func (r *Request) Return(t *kernel.Task) (int, error) {
 // are absorbed by re-checking the completion flag; when the fault plane
 // may drop the completion wake the wait is timed with growing backoff.
 func (r *Request) Suspend(t *kernel.Task) (int, error) {
-	fp := t.Kernel().Faults()
+	k := t.Kernel()
 	var backoff sim.Duration
 	for !r.done {
 		var err error
-		if fp != nil && fp.Armed(t, "futex_lost_wake") {
+		if k.FaultArmed(t, "futex_lost_wake") {
 			if backoff == 0 {
 				backoff = waitBackoffBase
 			} else if backoff < waitBackoffMax {
@@ -292,16 +293,16 @@ func (c *Context) die(t *kernel.Task) {
 // (failed by die) but never half-written files.
 func (c *Context) helperBody(t *kernel.Task) int {
 	k := t.Kernel()
-	fp := k.Faults()
 	var backoff sim.Duration
 	for {
-		if fp != nil && fp.TaskShouldDie(t, "aio_helper_kill") {
-			if tr := k.Engine().Tracer(); tr != nil {
-				m := sim.Meta{Task: t.Name(), PID: t.PID(), Core: -1}
-				if core := t.Core(); core != nil {
-					m.Core = core.ID()
-				}
-				tr.Emit(k.Engine().Now(), "fault", m, "aio_helper_kill: %s dies with %d queued", t.Name(), len(c.queue))
+		if k.FaultShouldDie(t, "aio_helper_kill") {
+			if ps := k.Probes(); ps.Attached(probe.PTraceInstant) {
+				pc := ps.Begin(probe.PTraceInstant, k.Engine().Now())
+				pc.Site = "fault"
+				pc.Task = t
+				pc.Format = "aio_helper_kill: %s dies with %d queued"
+				pc.Args = []interface{}{t.Name(), len(c.queue)}
+				ps.Fire(pc)
 			}
 			c.die(t)
 			return killedExitStatus
@@ -312,7 +313,7 @@ func (c *Context) helperBody(t *kernel.Task) int {
 			}
 			c.sleeping = true
 			var err error
-			if fp != nil && fp.Armed(t, "futex_lost_wake") {
+			if k.FaultArmed(t, "futex_lost_wake") {
 				if backoff == 0 {
 					backoff = waitBackoffBase
 				} else if backoff < waitBackoffMax {

@@ -9,8 +9,17 @@ import (
 	"repro/internal/arch"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
+
+// ProbeSpecs, when non-empty (ulpbench -probe), attaches the stock
+// probes to every scale-suite kernel and runs their checks after each
+// row's workload — the SLO probe as a scale oracle. Observe-only probes
+// leave the virtual columns untouched, so minRow's exact-repeat
+// assertion doubles as the probes-don't-perturb guard; a throttle probe
+// shifts them deterministically, and repeats still match.
+var ProbeSpecs []probe.Spec
 
 // The scale suite stresses the paths that must stay cheap when the
 // simulated machine serves very large task counts: task create/exit/join
@@ -191,9 +200,24 @@ func scaleRun(m *arch.Machine, body func(k *kernel.Kernel, root *kernel.Task)) (
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	err := RunKernel(m, body)
+	var probeErr error
+	err := RunKernel(m, func(k *kernel.Kernel, root *kernel.Task) {
+		atts := probe.AttachSpecs(k.Probes(), ProbeSpecs)
+		body(k, root)
+		for _, a := range atts {
+			if a.Check == nil {
+				continue
+			}
+			if cerr := a.Check(); cerr != nil && probeErr == nil {
+				probeErr = fmt.Errorf("probe %s: %w", a.Spec, cerr)
+			}
+		}
+	})
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
+	if err == nil {
+		err = probeErr
+	}
 	return wall, after.Mallocs - before.Mallocs, err
 }
 

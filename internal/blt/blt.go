@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/probe"
 	"repro/internal/uctx"
 )
 
@@ -192,11 +193,11 @@ func (b *BLT) Decouple() {
 	p := b.pool
 	carrier := b.uc.Carrier()
 	// The coupled bracket ends here: the KC is about to go idle.
-	if tr := p.kern.Engine().Tracer(); tr != nil && b.bracket != 0 {
-		tr.EndSpan(p.kern.Engine().Now(), b.bracket, p.meta(carrier, b.name))
+	if b.bracket != 0 {
+		p.endSpan(carrier, b, b.bracket)
 		b.bracket = 0
 	}
-	fr := p.opEnter(carrier, b, "decouple", p.mDecouple)
+	fr := p.opEnter(carrier, b, "decouple", probe.PDecouple)
 	b.pool.trace("decouple: enqueue(%s, sched%d)", b.name, b.home.index) // Table I Seq.6
 	// Table I Seq.6: enqueue(UC0, KC1) — hand the UC to the scheduler.
 	// The scheduler may observe the queue entry before the UC context
@@ -208,7 +209,7 @@ func (b *BLT) Decouple() {
 	b.pool.trace("decouple: swap_ctx(%s, TC)", b.name)
 	b.uc.Yield(tagDecouple)
 	// Resumed here by a scheduler KC: the BLT is now a ULT.
-	p.opExit(b.uc.Carrier(), b, fr, p.mDecouple)
+	p.opExit(b.uc.Carrier(), b, fr)
 }
 
 // Couple attaches the calling BLT's UC back to its original KC. On
@@ -239,7 +240,7 @@ func (b *BLT) Couple() error {
 	b.coupled = true
 	b.ucSaved = false
 	p := b.pool
-	fr := p.opEnter(carrier, b, "couple", p.mCouple)
+	fr := p.opEnter(carrier, b, "couple", probe.PCouple)
 	// Table I Seq.1: enqueue(UC0, KC0) — ask the original KC to run us.
 	// Seq.2: unblock(KC0).
 	b.pool.trace("couple: enqueue(%s, KC) + unblock(KC)", b.name)
@@ -251,7 +252,7 @@ func (b *BLT) Couple() error {
 	// Resumed here either by the original KC (Seq.4: swap_ctx(TC0, UC0))
 	// or — if the KC died with our request still queued — by the home
 	// scheduler, with coupleErr set.
-	p.opExit(b.uc.Carrier(), b, fr, p.mCouple)
+	p.opExit(b.uc.Carrier(), b, fr)
 	if b.coupleErr != nil {
 		err := b.coupleErr
 		b.coupleErr = nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/supervise"
 	"repro/internal/uctx"
 )
@@ -165,9 +166,9 @@ func (h *KCHost) dequeue(t *kernel.Task) *BLT {
 // handshake windows are a few uninterruptible instructions.
 func (h *KCHost) tcBody(c *uctx.Context) {
 	costs := h.pool.kern.Machine().Costs
-	fp := h.pool.kern.Faults()
+	k := h.pool.kern
 	for {
-		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
+		if k.FaultShouldDie(c.Carrier(), "kc_kill") {
 			h.killed = true // mid-decouple: the KC dies while idle
 			h.pool.emit(c.Carrier(), "fault", "kc_kill: %s dies idle", c.Carrier().Name())
 			return
@@ -178,7 +179,7 @@ func (h *KCHost) tcBody(c *uctx.Context) {
 		if h.residents == 0 && len(h.queue) == 0 {
 			return
 		}
-		if fp != nil && fp.TaskShouldDie(c.Carrier(), "kc_kill") {
+		if k.FaultShouldDie(c.Carrier(), "kc_kill") {
 			h.killed = true // mid-couple: a request is queued, never served
 			h.pool.emit(c.Carrier(), "fault", "kc_kill: %s dies with couple request queued", c.Carrier().Name())
 			return
@@ -248,16 +249,16 @@ func (h *KCHost) runCoupled(t *kernel.Task, b *BLT) {
 	p := h.pool
 	// Open the couple→exec→decouple bracket on the KC's core; Decouple
 	// (or the exit path below) closes it.
-	if tr := p.kern.Engine().Tracer(); tr != nil {
-		b.bracket = tr.BeginSpan(p.kern.Engine().Now(), "blt.span", p.meta(t, b.name), "coupled "+b.name)
+	if p.kern.Probes().Attached(probe.PSpanBegin) {
+		b.bracket = p.beginSpan(t, b, "coupled "+b.name)
 	}
 	for {
 		ev := b.uc.Step(t)
 		if ev.Kind == uctx.EvExit {
 			// Paper rule 7: a BLT always terminates as a KLT coupled
 			// with its original KC.
-			if tr := p.kern.Engine().Tracer(); tr != nil && b.bracket != 0 {
-				tr.EndSpan(p.kern.Engine().Now(), b.bracket, p.meta(t, b.name))
+			if b.bracket != 0 {
+				p.endSpan(t, b, b.bracket)
 				b.bracket = 0
 			}
 			b.done = true

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
-	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 	"repro/internal/uctx"
@@ -65,76 +65,131 @@ type Config struct {
 	CloneFlags kernel.CloneFlags
 }
 
-// trace emits a BLT-protocol event into the engine tracer (if any) —
+// trace emits a BLT-protocol event through the trace:log probe point —
 // used to validate the Table I sequence in tests and to debug schedules
 // via ulpsim -trace.
 func (p *Pool) trace(format string, args ...interface{}) {
-	if tr := p.kern.Engine().Tracer(); tr != nil {
-		tr.Add(p.kern.Engine().Now(), "blt", format, args...)
+	ps := p.kern.Probes()
+	if !ps.Attached(probe.PTraceLog) {
+		return
 	}
+	c := ps.Begin(probe.PTraceLog, p.kern.Engine().Now())
+	c.Site = "blt"
+	c.Format = format
+	c.Args = args
+	ps.Fire(c)
 }
 
-// meta builds typed trace metadata for an event executing on t. An empty
-// name falls back to the kernel task's own name.
-func (p *Pool) meta(t *kernel.Task, name string) sim.Meta {
-	m := sim.Meta{Task: name, Core: -1}
-	if t != nil {
-		if name == "" {
-			m.Task = t.Name()
-		}
-		m.PID = t.PID()
-		if c := t.Core(); c != nil {
-			m.Core = c.ID()
-		}
-	}
-	return m
-}
-
-// emit records a typed instant event on t's current core.
+// emit records a typed instant event on t's current core through the
+// trace:instant probe point.
 func (p *Pool) emit(t *kernel.Task, kind, format string, args ...interface{}) {
-	if tr := p.kern.Engine().Tracer(); tr != nil {
-		tr.Emit(p.kern.Engine().Now(), kind, p.meta(t, ""), format, args...)
+	ps := p.kern.Probes()
+	if !ps.Attached(probe.PTraceInstant) {
+		return
 	}
+	c := ps.Begin(probe.PTraceInstant, p.kern.Engine().Now())
+	c.Site = kind
+	if t != nil {
+		c.Task = t
+	}
+	c.Format = format
+	c.Args = args
+	ps.Fire(c)
 }
 
 // opFrame carries the latency clock and span id of one couple/decouple
-// handshake from opEnter to opExit. Zero frame (on=false): neither
-// metrics nor tracing are active.
+// handshake from opEnter to opExit. Zero frame (on=false): no program
+// watches the handshake's points.
 type opFrame struct {
 	start sim.Time
 	span  uint64
+	pt    probe.Point
 	on    bool
 }
 
 // opEnter opens a couple/decouple handshake: starts the latency clock
-// and (with a tracer) a "blt.span" span on the core where the handshake
-// begins. h is the destination histogram, nil when metrics are off.
-func (p *Pool) opEnter(t *kernel.Task, b *BLT, name string, h *metrics.Histogram) opFrame {
-	tr := p.kern.Engine().Tracer()
-	if h == nil && tr == nil {
+// and (with a span watcher) a "blt.span" span on the core where the
+// handshake begins. pt is the handshake's point (blt:couple or
+// blt:decouple), fired with the wall latency at opExit.
+func (p *Pool) opEnter(t *kernel.Task, b *BLT, name string, pt probe.Point) opFrame {
+	ps := p.kern.Probes()
+	hasOp := ps.Attached(pt)
+	hasSpan := ps.Attached(probe.PSpanBegin)
+	if !hasOp && !hasSpan {
 		return opFrame{}
 	}
-	f := opFrame{start: p.kern.Engine().Now(), on: true}
-	if tr != nil {
-		f.span = tr.BeginSpan(f.start, "blt.span", p.meta(t, b.name), name+" "+b.name)
+	f := opFrame{start: p.kern.Engine().Now(), pt: pt, on: true}
+	if hasSpan {
+		c := ps.Begin(probe.PSpanBegin, f.start)
+		c.Site = "blt.span"
+		if t != nil {
+			c.Task = t
+		}
+		c.Name = b.name
+		c.Format = name + " " + b.name
+		f.span = ps.Fire(c).Span
 	}
 	return f
 }
 
-// opExit closes the handshake opened by opEnter: observes the wall
-// virtual-time latency and ends the span (on whatever core the
-// handshake finished).
-func (p *Pool) opExit(t *kernel.Task, b *BLT, f opFrame, h *metrics.Histogram) {
+// opExit closes the handshake opened by opEnter: fires the handshake
+// point with the wall virtual-time latency and ends the span (on
+// whatever core the handshake finished).
+func (p *Pool) opExit(t *kernel.Task, b *BLT, f opFrame) {
 	if !f.on {
 		return
 	}
+	ps := p.kern.Probes()
 	end := p.kern.Engine().Now()
-	if h != nil {
-		h.Observe(int64(end.Sub(f.start)))
+	if ps.Attached(f.pt) {
+		c := ps.Begin(f.pt, end)
+		if t != nil {
+			c.Task = t
+		}
+		c.Name = b.name
+		c.Dur = end.Sub(f.start)
+		ps.Fire(c)
 	}
-	if tr := p.kern.Engine().Tracer(); tr != nil {
-		tr.EndSpan(end, f.span, p.meta(t, b.name))
+	if f.span != 0 && ps.Attached(probe.PSpanEnd) {
+		c := ps.Begin(probe.PSpanEnd, end)
+		if t != nil {
+			c.Task = t
+		}
+		c.Name = b.name
+		c.Span = f.span
+		ps.Fire(c)
 	}
+}
+
+// beginSpan opens a "blt.span" trace span attributed to b on t's core
+// (0 when no program watches the point). Callers gate on
+// Probes().Attached(probe.PSpanBegin) so the label is only formatted
+// when someone listens.
+func (p *Pool) beginSpan(t *kernel.Task, b *BLT, label string) uint64 {
+	ps := p.kern.Probes()
+	c := ps.Begin(probe.PSpanBegin, p.kern.Engine().Now())
+	c.Site = "blt.span"
+	if t != nil {
+		c.Task = t
+	}
+	c.Name = b.name
+	c.Format = label
+	return ps.Fire(c).Span
+}
+
+// endSpan closes a span opened by beginSpan on whatever core t runs on.
+func (p *Pool) endSpan(t *kernel.Task, b *BLT, span uint64) {
+	ps := p.kern.Probes()
+	if !ps.Attached(probe.PSpanEnd) {
+		return
+	}
+	c := ps.Begin(probe.PSpanEnd, p.kern.Engine().Now())
+	if t != nil {
+		c.Task = t
+	}
+	c.Name = b.name
+	c.Span = span
+	ps.Fire(c)
 }
 
 // Pool manages scheduler BLTs and the BLTs they run.
@@ -150,13 +205,6 @@ type Pool struct {
 	hosts     []*KCHost
 
 	stopped bool
-
-	// Metric handles, resolved from the kernel's registry at NewPool
-	// time (nil when metrics are off — each site costs one nil check).
-	mCouple   *metrics.Histogram
-	mDecouple *metrics.Histogram
-	mULT      *metrics.Counter
-	mSteals   *metrics.Counter
 }
 
 // NewPool creates the schedulers (one kernel thread pinned to each
@@ -173,12 +221,6 @@ func NewPool(creator *kernel.Task, cfg Config) (*Pool, error) {
 		cfg.CloneFlags = kernel.PiPProcessFlags
 	}
 	p := &Pool{kern: creator.Kernel(), creator: creator, cfg: cfg}
-	if reg := p.kern.Metrics(); reg != nil {
-		p.mCouple = reg.Histogram("blt.couple.ps")
-		p.mDecouple = reg.Histogram("blt.decouple.ps")
-		p.mULT = reg.Counter("blt.ctx_switch.ult")
-		p.mSteals = reg.Counter("blt.steals")
-	}
 	for i, core := range cfg.ProgCores {
 		s := &Scheduler{pool: p, core: core, index: i}
 		if err := s.slot.init(p, creator); err != nil {
@@ -407,8 +449,7 @@ func (s *idleSlot) wait(t *kernel.Task, cond func() bool) {
 		}
 		return
 	}
-	fp := s.pool.kern.Faults()
-	timed := fp != nil && fp.Armed(t, "futex_lost_wake")
+	timed := s.pool.kern.FaultArmed(t, "futex_lost_wake")
 	for !cond() {
 		s.sleeping = true
 		var err error

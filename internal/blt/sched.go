@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/probe"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/uctx"
@@ -128,9 +129,9 @@ func (s *Scheduler) loop(t *kernel.Task) int {
 // could ever run again, which models an operator who would restart the
 // service rather than a recoverable fault.
 func (s *Scheduler) acquire(t *kernel.Task) *BLT {
-	fp := s.pool.kern.Faults()
+	k := s.pool.kern
 	for {
-		if fp != nil && fp.TaskShouldDie(t, "sched_kill") && s.pool.liveScheds() > 1 {
+		if k.FaultShouldDie(t, "sched_kill") && s.pool.liveScheds() > 1 {
 			s.die(t)
 			return nil
 		}
@@ -202,8 +203,13 @@ func (s *Scheduler) steal(t *kernel.Task) *BLT {
 		}
 		b := p.q.PopTail()
 		s.steals++
-		if s.pool.mSteals != nil {
-			s.pool.mSteals.Inc()
+		ps := s.pool.kern.Probes()
+		if ps.Attached(probe.PSchedSteal) {
+			c := ps.Begin(probe.PSchedSteal, s.pool.kern.Engine().Now())
+			c.Task = t
+			c.Name = b.name
+			c.Val = int64(p.index)
+			ps.Fire(c)
 		}
 		return b
 	}
@@ -230,16 +236,18 @@ func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
 	if b.uc.Running() {
 		panic(fmt.Sprintf("blt: %s marked saved but still running", b))
 	}
-	if fp := s.pool.kern.Faults(); fp != nil {
-		if d := fp.ExtraDelay(t, "sched_delay"); d > 0 {
-			// Injected scheduler latency: the UC sits ready while its
-			// scheduler dawdles — widening the Table I race windows.
-			t.Charge(d)
-		}
+	if d := s.pool.kern.FaultDelay(t, "sched_delay"); d > 0 {
+		// Injected scheduler latency: the UC sits ready while its
+		// scheduler dawdles — widening the Table I race windows.
+		t.Charge(d)
 	}
 	s.dispatches++
-	if s.pool.mULT != nil {
-		s.pool.mULT.Inc()
+	ps := s.pool.kern.Probes()
+	if ps.Attached(probe.PSchedULT) {
+		c := ps.Begin(probe.PSchedULT, s.pool.kern.Engine().Now())
+		c.Task = t
+		c.Name = b.name
+		ps.Fire(c)
 	}
 	s.pool.trace("sched%d: swap_ctx(.., %s)", s.index, b.name) // Seq.9 after decouple
 	s.running = b

@@ -29,6 +29,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/loader"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// exploration. Unlike Trace and Metrics it perturbs the schedule, so
 	// the digest is only reproducible for a deterministic chooser.
 	Chooser sim.Chooser
+
+	// Probes attaches stock probe programs (parsed from the -probe
+	// syntax; see probe.ParseSpecs) to the run's kernel. Observe-only
+	// probes (count, slo) never perturb the schedule, so the digest is
+	// unchanged; a throttle delays syscalls by design, and its digests
+	// are comparable only among runs with the same probe set. An SLO
+	// probe's post-run check failing fails the run like any other
+	// invariant violation.
+	Probes []probe.Spec
 
 	// Supervise installs the supervision plane: the stall/deadlock
 	// watchdog plus restart budgets for fault-killed KCs and AIO helpers.
@@ -141,6 +151,9 @@ func ReproCommand(cfg Config) string {
 			s += fmt.Sprintf(" -stall-horizon %g", cfg.StallHorizon.Microseconds())
 		}
 	}
+	if len(cfg.Probes) > 0 {
+		s += fmt.Sprintf(" -probe '%s'", probe.SpecsString(cfg.Probes))
+	}
 	return s
 }
 
@@ -202,6 +215,7 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 	}
 	plane := fault.NewPlane(cfg.Seed, cfg.Specs)
 	k.SetFaultPlane(plane)
+	atts := probe.AttachSpecs(k.Probes(), cfg.Probes)
 	var sup *supervise.Plane
 	if cfg.Supervise {
 		sup = supervise.New(k, supervise.Config{
@@ -294,8 +308,14 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 		Injections: plane.Injections(),
 		Orphans:    orphans,
 	}
+	stats := plane.Stats()
+	for _, a := range atts {
+		if a.Report != nil {
+			stats = append(stats, "probe "+a.Report())
+		}
+	}
 	fail := func(format string, args ...interface{}) (Digest, []string, error) {
-		return d, plane.Stats(), fmt.Errorf(format+"\nrepro: %s", append(args, ReproCommand(cfg))...)
+		return d, stats, fmt.Errorf(format+"\nrepro: %s", append(args, ReproCommand(cfg))...)
 	}
 	if waitErr != nil {
 		return fail("WaitAll: %v", waitErr)
@@ -319,7 +339,14 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 			return fail("supervision watchdog found %d wait-for cycle(s), first %v", len(dl), dl[0])
 		}
 	}
-	return d, plane.Stats(), nil
+	for _, a := range atts {
+		if a.Check != nil {
+			if err := a.Check(); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+	return d, stats, nil
 }
 
 // rankArg carries one rank's seeded op stream into chaosMain.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/blt"
 	"repro/internal/kernel"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -211,6 +212,41 @@ func TestStockScenarioDigestDeterminism(t *testing.T) {
 			t.Errorf("%s: same-seed explorations disagree on failure", name)
 		} else if r1.Failure != nil && !reflect.DeepEqual(r1.Failure.Trace, r2.Failure.Trace) {
 			t.Errorf("%s: same-seed failing traces differ: %v vs %v", name, r1.Failure.Trace, r2.Failure.Trace)
+		}
+	}
+}
+
+// TestProbesDoNotPerturbExploration pins the probe plane's determinism
+// contract inside the explorer: attaching observe-only stock probes
+// (fire counters across the hot attach points plus an SLO aggregator
+// with a generous bound) to every scenario kernel must leave the
+// decision digest of the default schedule byte-identical to the bare
+// run. Any probe that consumed randomness, reordered events or charged
+// virtual time would shift a tie-break somewhere in these schedules and
+// surface here as a digest mismatch.
+func TestProbesDoNotPerturbExploration(t *testing.T) {
+	specs, err := probe.ParseSpecs(
+		"count:points=syscall:enter+sched:dispatch+futex:wait+futex:wake+task:spawn+task:exit;slo:p99_us=1000000")
+	if err != nil {
+		t.Fatalf("ParseSpecs: %v", err)
+	}
+	for _, name := range ScenarioNames() {
+		s, err := ByName(name, arch.Wallaby, blt.BusyWait)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		ProbeSpecs = nil
+		bare, bareErr := Replay(s, nil)
+		ProbeSpecs = specs
+		probed, probedErr := Replay(s, nil)
+		ProbeSpecs = nil
+		if (bareErr == nil) != (probedErr == nil) ||
+			(bareErr != nil && bareErr.Error() != probedErr.Error()) {
+			t.Errorf("%s: probes changed the verdict: bare %v, probed %v", name, bareErr, probedErr)
+		}
+		if !reflect.DeepEqual(bare, probed) {
+			t.Errorf("%s: observe probes perturbed the decision digest:\n  bare:   %v\n  probed: %v",
+				name, bare, probed)
 		}
 	}
 }

@@ -9,10 +9,28 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/loader"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 	"repro/internal/timeline"
 )
+
+// ProbeSpecs, when non-empty (ulpsim -explore -probe), attaches the
+// stock probes to every scenario kernel the explorer builds. Probes run
+// under controlled scheduling like everything else: observe-only probes
+// must leave the decision digest of every schedule untouched (pinned by
+// TestProbesDoNotPerturbExploration), and a perturbing probe (throttle)
+// shifts schedules deterministically, so replay commands stay exact.
+var ProbeSpecs []probe.Spec
+
+// newKernel is kernel.New plus the exploration-wide probe attachments.
+// Every scenario builds its kernel through here so -probe covers the
+// whole stock suite.
+func newKernel(e *sim.Engine, m *arch.Machine) *kernel.Kernel {
+	k := kernel.New(e, m)
+	probe.AttachSpecs(k.Probes(), ProbeSpecs)
+	return k
+}
 
 // horizon bounds each explored run in virtual time: an adversarial
 // schedule that livelocks the protocol (busy-waiting schedulers keep
@@ -71,7 +89,7 @@ func PingPong(mk func() *arch.Machine, rounds int) Scenario {
 			e.SetChooser(ch)
 			e.SetTrapPanics(true)
 			defer e.Shutdown()
-			k := kernel.New(e, mk())
+			k := newKernel(e, mk())
 			tl := timeline.New()
 			k.SetTimeline(tl)
 			handoffs := 0
@@ -152,7 +170,7 @@ func DeadlockScenario(mk func() *arch.Machine) Scenario {
 			e.SetChooser(ch)
 			e.SetTrapPanics(true)
 			defer e.Shutdown()
-			k := kernel.New(e, mk())
+			k := newKernel(e, mk())
 			sup := supervise.New(k, supervise.Config{
 				Tick:         1 * sim.Millisecond,
 				StallHorizon: 200 * sim.Microsecond,
@@ -246,7 +264,7 @@ func BLT(mk func() *arch.Machine, idle blt.IdlePolicy, mn bool) Scenario {
 			e.SetChooser(ch)
 			e.SetTrapPanics(true)
 			defer e.Shutdown()
-			k := kernel.New(e, mk())
+			k := newKernel(e, mk())
 			tl := timeline.New()
 			k.SetTimeline(tl)
 			// Ranks hold at a start gate until every Spawn has returned:

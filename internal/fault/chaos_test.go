@@ -10,6 +10,7 @@
 package fault_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -107,6 +109,72 @@ func TestChaosFaultFreeBaseline(t *testing.T) {
 	}
 	if d.Injections != 0 || d.Orphans != 0 {
 		t.Errorf("fault-free run: injections=%d orphans=%d, want 0/0", d.Injections, d.Orphans)
+	}
+}
+
+// TestChaosProbesPreserveDigest is the byte-identity guard for the
+// probe plane: observe-only stock probes (fire counters across the hot
+// attach points, an SLO aggregator with a generous bound) attached to a
+// chaos run must reproduce the bare run's digest exactly — attaching
+// observability must not move a single event. A throttle probe, by
+// contrast, is *supposed* to perturb the schedule; the contract there is
+// that the perturbed digest is still a pure function of the seed.
+func TestChaosProbesPreserveDigest(t *testing.T) {
+	observe, err := probe.ParseSpecs(
+		"count:points=syscall:enter+sched:dispatch+futex:wait+futex:wake+fault:site+task:exit;slo:p99_us=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttle, err := probe.ParseSpecs("throttle:task=t,interval_us=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		bare := chaos.Config{Seed: seed, Idle: blt.BusyWait}
+		d0, err := chaos.Run(bare)
+		if err != nil {
+			t.Fatalf("seed %d bare: %v", seed, err)
+		}
+		probed := bare
+		probed.Probes = observe
+		d1, err := chaos.Run(probed)
+		if err != nil {
+			t.Fatalf("seed %d probed: %v", seed, err)
+		}
+		if !d0.Equal(d1) {
+			t.Fatalf("seed %d: observe probes perturbed the digest:\n  bare:   %s\n  probed: %s",
+				seed, d0, d1)
+		}
+		slowed := bare
+		slowed.Probes = throttle
+		d2, err := chaos.Run(slowed)
+		if err != nil {
+			t.Fatalf("seed %d throttled: %v", seed, err)
+		}
+		d3, err := chaos.Run(slowed)
+		if err != nil {
+			t.Fatalf("seed %d throttled rerun: %v", seed, err)
+		}
+		if !d2.Equal(d3) {
+			t.Fatalf("seed %d: throttled digest nondeterministic:\n  run1: %s\n  run2: %s",
+				seed, d2, d3)
+		}
+	}
+}
+
+// TestChaosSLOOracleFails: an unsatisfiable SLO bound must fail the
+// chaos run through the probe's post-run check, like any other
+// invariant violation.
+func TestChaosSLOOracleFails(t *testing.T) {
+	specs, err := probe.ParseSpecs("slo:p99_us=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaos.Config{Seed: 7, Idle: blt.BusyWait, Probes: specs}
+	if _, err := chaos.Run(cfg); err == nil {
+		t.Fatal("chaos run passed despite a 1us p99 bound on every syscall")
+	} else if !strings.Contains(err.Error(), "SLO") {
+		t.Errorf("failure should come from the SLO check, got: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -64,35 +65,51 @@ type FaultPlane interface {
 	Armed(t *Task, site string) bool
 }
 
-// SetFaultPlane installs a fault-injection plane (nil clears it). Must be
+// SetFaultPlane installs a fault-injection plane (nil clears it) by
+// attaching the stock fault probe at fault:site / fault:armed. Must be
 // set before the simulation runs for deterministic schedules.
-func (k *Kernel) SetFaultPlane(fp FaultPlane) { k.faults = fp }
+func (k *Kernel) SetFaultPlane(fp FaultPlane) {
+	k.faults = fp
+	if k.faultProg != nil {
+		k.probes.Detach(k.faultProg)
+		k.faultProg = nil
+	}
+	if fp == nil {
+		return
+	}
+	k.faultProg = k.probes.Attach("fault", (&stockFaults{fp: fp}).fire,
+		probe.PFaultSite, probe.PFaultArmed)
+}
 
-// Faults returns the installed fault plane, or nil.
+// Faults returns the installed fault plane, or nil. Probe programs
+// attached directly at fault:site do not appear here.
 func (k *Kernel) Faults() FaultPlane { return k.faults }
 
-// faultSyscall consults the plane at a syscall site; nil when no plane is
-// installed or the site does not fire.
+// faultSyscall consults fault:site at a syscall site; nil when nothing
+// is attached or no program vetoes.
 func (k *Kernel) faultSyscall(t *Task, site string) error {
-	if k.faults == nil {
+	if !k.probes.Attached(probe.PFaultSite) {
 		return nil
 	}
-	err := k.faults.SyscallError(t, site)
+	c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+	c.Site = site
+	c.Task = t
+	err := k.probes.Fire(c).Err
 	if err != nil {
-		if k.mFaults != nil {
-			k.mFaults.Inc()
-		}
-		k.emit(t, "fault", "%s: %v", site, err)
+		k.faultFired(t, site, err, "%s: %v", site, err)
 	}
 	return err
 }
 
 // faultIOScale folds the fs-degradation factor into an I/O cost.
 func (k *Kernel) faultIOScale(t *Task, cost sim.Duration) sim.Duration {
-	if k.faults == nil {
+	if !k.probes.Attached(probe.PFaultSite) {
 		return cost
 	}
-	if f := k.faults.IOScale(t, "fs_slow"); f > 1 {
+	c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+	c.Site = "fs_slow"
+	c.Task = t
+	if f := k.probes.Fire(c).Scale; f > 1 {
 		return sim.Duration(float64(cost) * f)
 	}
 	return cost

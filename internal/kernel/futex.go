@@ -3,7 +3,7 @@ package kernel
 import (
 	"fmt"
 
-	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -34,12 +34,25 @@ const (
 // non-creating-lookup and drained-entry-reclamation rules apply
 // per shard exactly as they did for the single table.
 type futexTable struct {
+	k      *Kernel
 	shards [futexShardCount]map[futexKey]*WaitQueue
-	total  int            // live entries across all shards
-	size   *metrics.Gauge // table-size gauge, nil without a registry
+	total  int // live entries across all shards
 }
 
-func newFutexTable() *futexTable { return &futexTable{} }
+func newFutexTable(k *Kernel) *futexTable { return &futexTable{k: k} }
+
+// noteSize fires futex:table after an entry was created or dropped (the
+// stock metrics probe maintains the kernel.futex.table_size gauge from
+// it).
+func (ft *futexTable) noteSize() {
+	k := ft.k
+	if !k.probes.Attached(probe.PFutexTable) {
+		return
+	}
+	c := k.probes.Begin(probe.PFutexTable, k.engine.Now())
+	c.Val = int64(ft.total)
+	k.probes.Fire(c)
+}
 
 // shardOf hashes a futex key to its shard index. The address's low bits
 // carry no entropy (words are 8-aligned), so a multiplicative mix feeds
@@ -64,9 +77,7 @@ func (ft *futexTable) queue(k futexKey) *WaitQueue {
 		q = &WaitQueue{ft: ft, key: k}
 		m[k] = q
 		ft.total++
-		if ft.size != nil {
-			ft.size.Set(int64(ft.total))
-		}
+		ft.noteSize()
 	}
 	return q
 }
@@ -87,9 +98,7 @@ func (ft *futexTable) lookup(k futexKey) *WaitQueue {
 func (ft *futexTable) drop(k futexKey) {
 	delete(ft.shards[shardOf(k)], k)
 	ft.total--
-	if ft.size != nil {
-		ft.size.Set(int64(ft.total))
-	}
+	ft.noteSize()
 }
 
 // FutexWait implements futex(FUTEX_WAIT): if the 64-bit word at addr in
@@ -110,8 +119,11 @@ func (t *Task) FutexWaitTimeout(addr uint64, expected uint64, d sim.Duration) er
 func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) error {
 	k := t.kernel
 	fr := k.sysEnter(t, "futex_wait")
-	if k.mFutex.waits != nil {
-		k.mFutex.waits.Inc()
+	if k.probes.Attached(probe.PFutexWait) {
+		c := k.probes.Begin(probe.PFutexWait, k.engine.Now())
+		c.Task = t
+		c.Addr = addr
+		k.probes.Fire(c)
 	}
 	t.Charge(k.machine.Costs.FutexWaitCall)
 	if err := k.faultSyscall(t, "futex_wait"); err != nil {
@@ -127,16 +139,19 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 		k.sysExit(t, fr)
 		return ErrFutexAgain
 	}
-	if k.faults != nil && k.faults.FutexSpurious(t, addr) {
-		// A spurious wakeup: the caller observes EAGAIN without having
-		// slept, as if the word had changed and changed back.
-		k.fxStats.Spurious++
-		if k.mFutex.spurious != nil {
-			k.mFutex.spurious.Inc()
+	if k.probes.Attached(probe.PFaultSite) {
+		c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+		c.Site = "futex_spurious"
+		c.Task = t
+		c.Addr = addr
+		if k.probes.Fire(c).Drop {
+			// A spurious wakeup: the caller observes EAGAIN without having
+			// slept, as if the word had changed and changed back.
+			k.fxStats.Spurious++
+			k.faultFired(t, "futex_spurious", nil, "futex spurious wakeup addr=%#x", addr)
+			k.sysExit(t, fr)
+			return ErrFutexAgain
 		}
-		k.emit(t, "fault", "futex spurious wakeup addr=%#x", addr)
-		k.sysExit(t, fr)
-		return ErrFutexAgain
 	}
 	key := futexKey{t.space.ID, addr}
 	if k.super != nil {
@@ -181,8 +196,11 @@ func (t *Task) futexWait(addr uint64, expected uint64, timeout sim.Duration) err
 		return ErrInterrupted
 	case WakeTimeout:
 		k.fxStats.Timeouts++
-		if k.mFutex.timeouts != nil {
-			k.mFutex.timeouts.Inc()
+		if k.probes.Attached(probe.PFutexTimeout) {
+			c := k.probes.Begin(probe.PFutexTimeout, k.engine.Now())
+			c.Task = t
+			c.Addr = addr
+			k.probes.Fire(c)
 		}
 		k.sysExit(t, fr)
 		return ErrTimedOut
@@ -207,8 +225,12 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	k := t.kernel
 	fr := k.sysEnter(t, "futex_wake")
 	k.fxStats.WakeCalls++
-	if k.mFutex.wakes != nil {
-		k.mFutex.wakes.Inc()
+	if k.probes.Attached(probe.PFutexWake) {
+		c := k.probes.Begin(probe.PFutexWake, k.engine.Now())
+		c.Task = t
+		c.Addr = addr
+		c.Val = int64(n)
+		k.probes.Fire(c)
 	}
 	t.Charge(k.machine.Costs.FutexWakeCall)
 	key := futexKey{t.space.ID, addr}
@@ -225,18 +247,22 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	if q := k.futexes.lookup(key); q != nil {
 		for w := q.head; claimed < n && w != nil; {
 			next := w.wqNext
-			if k.faults != nil && k.faults.FutexDropWake(w, addr) {
-				// Lost wakeup: silently drop the wake destined for this
-				// waiter. The waker proceeds believing it woke someone; the
-				// waiter stays asleep until a retry, timeout or later wake.
-				k.fxStats.Lost++
-				if k.mFutex.lost != nil {
-					k.mFutex.lost.Inc()
+			if k.probes.Attached(probe.PFaultSite) {
+				c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+				c.Site = "futex_lost_wake"
+				c.Task = t
+				c.Waiter = w
+				c.Addr = addr
+				if k.probes.Fire(c).Drop {
+					// Lost wakeup: silently drop the wake destined for this
+					// waiter. The waker proceeds believing it woke someone; the
+					// waiter stays asleep until a retry, timeout or later wake.
+					k.fxStats.Lost++
+					k.faultFired(t, "futex_lost_wake", nil, "futex lost wake addr=%#x", addr)
+					claimed++
+					w = next
+					continue
 				}
-				k.emit(t, "fault", "futex lost wake addr=%#x", addr)
-				claimed++
-				w = next
-				continue
 			}
 			q.unlink(w)
 			k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
@@ -247,8 +273,12 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	}
 	k.fxStats.Claimed += uint64(claimed)
 	k.fxStats.Delivered += uint64(delivered)
-	if k.mFutex.woken != nil {
-		k.mFutex.woken.Add(uint64(delivered))
+	if k.probes.Attached(probe.PFutexWoken) {
+		c := k.probes.Begin(probe.PFutexWoken, k.engine.Now())
+		c.Task = t
+		c.Addr = addr
+		c.Val = int64(delivered)
+		k.probes.Fire(c)
 	}
 	k.sysExit(t, fr)
 	return claimed
@@ -308,11 +338,19 @@ func (t *Task) FutexRequeue(addr, expected uint64, nWake, nMove int, addr2 uint6
 	k.fxStats.Claimed += uint64(woken)
 	k.fxStats.Delivered += uint64(woken)
 	k.fxStats.Requeued += uint64(moved)
-	if k.mFutex.woken != nil {
-		k.mFutex.woken.Add(uint64(woken))
+	if k.probes.Attached(probe.PFutexWoken) {
+		c := k.probes.Begin(probe.PFutexWoken, k.engine.Now())
+		c.Task = t
+		c.Addr = addr
+		c.Val = int64(woken)
+		k.probes.Fire(c)
 	}
-	if k.mFutex.requeues != nil {
-		k.mFutex.requeues.Add(uint64(moved))
+	if k.probes.Attached(probe.PFutexRequeue) {
+		c := k.probes.Begin(probe.PFutexRequeue, k.engine.Now())
+		c.Task = t
+		c.Addr = addr2
+		c.Val = int64(moved)
+		k.probes.Fire(c)
 	}
 	k.sysExit(t, fr)
 	return woken + moved, nil
@@ -392,6 +430,14 @@ func (ft *futexTimer) fire() {
 	ft.armed = false
 	if len(k.futexTimers) < maxTimerPool {
 		k.futexTimers = append(k.futexTimers, ft)
+	}
+	if k.probes.Attached(probe.PTimerFire) {
+		c := k.probes.Begin(probe.PTimerFire, k.engine.Now())
+		c.Site = "futex"
+		if t != nil {
+			c.Task = t
+		}
+		k.probes.Fire(c)
 	}
 	if k.super != nil {
 		k.super.OnTimerFired(t)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -71,20 +72,20 @@ type Kernel struct {
 	// task occupies a core (see SetTimeline).
 	timeline TimelineRecorder
 
-	// metrics, when set, is the registry the kernel publishes into; the
-	// individual handles below are cached by SetMetrics so the
-	// metrics-off hot path costs one nil check and zero allocations.
+	// metrics, when set, is the registry the kernel publishes into. The
+	// per-site handles live in the stock metrics probe (see probes.go),
+	// attached by SetMetrics; the metrics-off hot path costs one
+	// length check per attach point and zero allocations.
 	metrics *metrics.Registry
-	mSysLat map[string]*metrics.Histogram
-	mRunq   *metrics.Histogram
-	mCtxKLT *metrics.Counter
-	mFutex  struct {
-		waits, wakes, woken, lost, spurious, timeouts, requeues *metrics.Counter
-	}
-	mTLS     *metrics.Counter
-	mTLSCost *metrics.Counter
-	mSignals *metrics.Counter
-	mFaults  *metrics.Counter
+
+	// probes is the programmable attach-point layer (see probes.go and
+	// internal/probe): every fault/metrics/trace site fires through it.
+	// The stock programs below shim the legacy planes; their handles are
+	// kept for detach on re-set.
+	probes      *probe.Registry
+	metricsProg *probe.Program
+	faultProg   *probe.Program
+	traceProg   *probe.Program
 
 	// Stats.
 	syscalls      uint64
@@ -146,15 +147,22 @@ func New(e *sim.Engine, m *arch.Machine) *Kernel {
 		fs:            fs.New(),
 		tasks:         make(map[int]*Task),
 		nextPID:       1,
-		futexes:       newFutexTable(),
+		probes:        probe.NewRegistry(),
 		syscallCounts: make(map[string]uint64),
 	}
+	k.futexes = newFutexTable(k)
 	for i := 0; i < m.Cores(); i++ {
 		c := &Core{id: i, kernel: k}
 		// The dispatch-latency callback is built once per core so the
 		// dispatch hot path schedules it without allocating a closure.
 		c.noteRunFn = func() { k.noteRun(c) }
 		k.cores = append(k.cores, c)
+	}
+	// The stock trace probe follows the engine's tracer: attached while
+	// one is installed, detached when it is cleared.
+	e.OnTracerChange(k.tracerChanged)
+	if tr := e.Tracer(); tr != nil {
+		k.tracerChanged(tr)
 	}
 	return k
 }
@@ -202,61 +210,26 @@ type TimelineRecorder interface {
 // SetTimeline installs a scheduling-span recorder (nil clears it).
 func (k *Kernel) SetTimeline(tl TimelineRecorder) { k.timeline = tl }
 
-// SetMetrics installs a metrics registry (nil clears it) and resolves
-// the kernel's metric handles. Install before the simulation runs; the
-// registry records no time and perturbs no schedule, so metrics-on and
-// metrics-off runs of the same seed are event-identical.
+// SetMetrics installs a metrics registry (nil clears it) by attaching
+// the stock metrics probe, which resolves its handles once. Install
+// before the simulation runs; the probe only observes (zero verdicts),
+// so metrics-on and metrics-off runs of the same seed are
+// event-identical.
 func (k *Kernel) SetMetrics(reg *metrics.Registry) {
 	k.metrics = reg
+	if k.metricsProg != nil {
+		k.probes.Detach(k.metricsProg)
+		k.metricsProg = nil
+	}
 	if reg == nil {
-		k.mSysLat, k.mRunq, k.mCtxKLT = nil, nil, nil
-		k.mFutex.waits, k.mFutex.wakes, k.mFutex.woken = nil, nil, nil
-		k.mFutex.lost, k.mFutex.spurious, k.mFutex.timeouts = nil, nil, nil
-		k.mFutex.requeues = nil
-		k.mTLS, k.mTLSCost, k.mSignals, k.mFaults = nil, nil, nil, nil
-		k.futexes.size = nil
 		return
 	}
-	k.mSysLat = make(map[string]*metrics.Histogram)
-	k.mRunq = reg.Histogram("kernel.runq.depth")
-	k.mCtxKLT = reg.Counter("kernel.ctx_switch.klt")
-	k.mFutex.waits = reg.Counter("kernel.futex.waits")
-	k.mFutex.wakes = reg.Counter("kernel.futex.wake_calls")
-	k.mFutex.woken = reg.Counter("kernel.futex.woken")
-	k.mFutex.lost = reg.Counter("kernel.futex.lost_wakes")
-	k.mFutex.spurious = reg.Counter("kernel.futex.spurious")
-	k.mFutex.timeouts = reg.Counter("kernel.futex.timeouts")
-	k.mFutex.requeues = reg.Counter("kernel.futex.requeued")
-	// Live futex-table entries (words with sleepers); its Max is the
-	// high-water mark, and hygiene demands Value 0 at quiescence.
-	k.futexes.size = reg.Gauge("kernel.futex.table_size")
-	// TLS-switch cost attribution: the mechanism is a machine property
-	// (x86_64 arch_prctl syscall vs AArch64 user-mode tpidr_el0), so the
-	// counter name carries it (the Table III/IV ablation axis).
-	mech := "arch_prctl"
-	if k.machine.TLSUserAccessible {
-		mech = "tpidr_el0"
-	}
-	k.mTLS = reg.Counter("kernel.tls_switch." + mech)
-	k.mTLSCost = reg.Counter("kernel.tls_switch.cost_ps")
-	k.mSignals = reg.Counter("kernel.signals.delivered")
-	k.mFaults = reg.Counter("kernel.faults.injected")
+	k.metricsProg = k.probes.Attach("metrics", newStockMetrics(k, reg).fire, stockMetricsPoints...)
 }
 
 // Metrics returns the installed registry, or nil. Runtime layers (blt,
 // aio) resolve their own handles from it.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
-
-// sysLatHist returns the latency histogram for the named system-call.
-// Only called with metrics installed.
-func (k *Kernel) sysLatHist(name string) *metrics.Histogram {
-	h := k.mSysLat[name]
-	if h == nil {
-		h = k.metrics.Histogram("kernel.syscall.ps." + name)
-		k.mSysLat[name] = h
-	}
-	return h
-}
 
 // FinalizeMetrics publishes end-of-run aggregates (per-core busy time,
 // totals) into the registry. Call after the engine drains, before
@@ -361,35 +334,37 @@ func load(c *Core) int {
 	return n
 }
 
-// tracing reports whether a tracer is installed. Hot paths gate their
-// k.trace calls on it so the untraced run pays neither the variadic
-// boxing nor the pidString formatting of the call's arguments.
-func (k *Kernel) tracing() bool { return k.engine.Tracer() != nil }
+// tracing reports whether anything watches the trace:log point (the
+// stock trace probe while a tracer is installed, or a custom program).
+// Hot paths gate their k.trace calls on it so the unwatched run pays
+// neither the variadic boxing nor the pidString formatting of the
+// call's arguments.
+func (k *Kernel) tracing() bool { return k.probes.Attached(probe.PTraceLog) }
 
 func (k *Kernel) trace(format string, args ...interface{}) {
-	if tr := k.engine.Tracer(); tr != nil {
-		tr.Add(k.engine.Now(), "kernel", format, args...)
+	if !k.probes.Attached(probe.PTraceLog) {
+		return
 	}
+	c := k.probes.Begin(probe.PTraceLog, k.engine.Now())
+	c.Site = "kernel"
+	c.Format = format
+	c.Args = args
+	k.probes.Fire(c)
 }
 
-// taskMeta builds the typed trace metadata for a task (Core -1 when the
-// task is currently off-CPU).
-func taskMeta(t *Task) sim.Meta {
-	if t == nil {
-		return sim.NoMeta
-	}
-	m := sim.Meta{Task: t.name, PID: t.pid, Core: -1}
-	if t.core != nil {
-		m.Core = t.core.id
-	}
-	return m
-}
-
-// emit records a typed instant event attributed to t's current core.
+// emit fires a typed instant event attributed to t's current core.
 func (k *Kernel) emit(t *Task, kind, format string, args ...interface{}) {
-	if tr := k.engine.Tracer(); tr != nil {
-		tr.Emit(k.engine.Now(), kind, taskMeta(t), format, args...)
+	if !k.probes.Attached(probe.PTraceInstant) {
+		return
 	}
+	c := k.probes.Begin(probe.PTraceInstant, k.engine.Now())
+	c.Site = kind
+	if t != nil {
+		c.Task = t
+	}
+	c.Format = format
+	c.Args = args
+	k.probes.Fire(c)
 }
 
 func pidString(t *Task) string {

@@ -1,0 +1,326 @@
+package kernel
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// The kernel owns three stock probe programs that reimplement the
+// pre-probe wiring over the attach-point layer:
+//
+//	fault    — attached by SetFaultPlane; consults the FaultPlane at
+//	           fault:site / fault:armed and translates its answers into
+//	           verdicts (Err for syscall sites, Drop for kills and wake
+//	           loss, Delay for sched_delay, Scale for fs_slow).
+//	metrics  — attached by SetMetrics; the registry handles previously
+//	           cached on the Kernel, resolved once and updated in place
+//	           so the metrics-on syscall path stays allocation-free.
+//	trace    — attached in lockstep with the engine's tracer; forwards
+//	           trace:* points into the tracer ring and renders fired
+//	           faults as "fault" instants.
+//
+// With all three attached in stock configuration the observable output
+// (metrics dumps, chaos digests, Chrome traces) is byte-identical to
+// the pre-probe wiring; with none attached every site costs one length
+// check. Custom programs attach beside them through Probes().
+
+// Probes returns the kernel's probe registry (never nil). User programs
+// attach here; the registry is consulted at every instrumented site.
+func (k *Kernel) Probes() *probe.Registry { return k.probes }
+
+// tracerChanged is the engine tracer hook: it keeps the stock trace
+// probe attached exactly while a tracer is installed.
+func (k *Kernel) tracerChanged(tr *sim.Tracer) {
+	if k.traceProg != nil {
+		k.probes.Detach(k.traceProg)
+		k.traceProg = nil
+	}
+	if tr == nil {
+		return
+	}
+	st := &stockTrace{tr: tr}
+	k.traceProg = k.probes.Attach("trace", st.fire,
+		probe.PTraceLog, probe.PTraceInstant, probe.PSpanBegin,
+		probe.PSpanEnd, probe.PFaultFired)
+}
+
+// taskOf unwraps the concrete task behind a probe context's Task field
+// (nil when the site had no task context).
+func taskOf(pt probe.Task) *Task {
+	if pt == nil {
+		return nil
+	}
+	t, _ := pt.(*Task)
+	return t
+}
+
+// probeMeta builds trace metadata from a fire context: the task's
+// identity, with Ctx.Name overriding the display name (BLT spans are
+// attributed to the BLT, not its carrier).
+func probeMeta(c *probe.Ctx) sim.Meta {
+	t := c.Task
+	if t == nil {
+		if c.Name == "" {
+			return sim.NoMeta
+		}
+		return sim.Meta{Task: c.Name, Core: -1}
+	}
+	name := c.Name
+	if name == "" {
+		name = t.Name()
+	}
+	return sim.Meta{Task: name, PID: t.PID(), Core: t.CoreID()}
+}
+
+// noteSwitch fires sched:switch for a kernel-level context switch onto
+// the dispatched task (scheduleNext and the switching half of
+// SchedYield).
+func (k *Kernel) noteSwitch(t *Task) {
+	if !k.probes.Attached(probe.PSchedSwitch) {
+		return
+	}
+	c := k.probes.Begin(probe.PSchedSwitch, k.engine.Now())
+	c.Task = t
+	k.probes.Fire(c)
+}
+
+// FaultShouldDie consults fault:site at a kill site (kc_kill,
+// sched_kill, aio_helper_kill): true means the task visiting the site
+// dies now. Runtime layers call this where they previously consulted
+// FaultPlane.TaskShouldDie; any program attached to fault:site can kill.
+func (k *Kernel) FaultShouldDie(t *Task, site string) bool {
+	if !k.probes.Attached(probe.PFaultSite) {
+		return false
+	}
+	c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+	c.Site = site
+	if t != nil {
+		c.Task = t
+	}
+	return k.probes.Fire(c).Drop
+}
+
+// FaultDelay consults fault:site for extra latency at the named site
+// (sched_delay); the caller charges the returned duration.
+func (k *Kernel) FaultDelay(t *Task, site string) sim.Duration {
+	if !k.probes.Attached(probe.PFaultSite) {
+		return 0
+	}
+	c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+	c.Site = site
+	if t != nil {
+		c.Task = t
+	}
+	return k.probes.Fire(c).Delay
+}
+
+// FaultArmed consults fault:armed: whether any program could ever fire
+// for (task, site), without consuming randomness. Recovery paths use it
+// to decide whether to arm timed waits.
+func (k *Kernel) FaultArmed(t *Task, site string) bool {
+	if !k.probes.Attached(probe.PFaultArmed) {
+		return false
+	}
+	c := k.probes.Begin(probe.PFaultArmed, k.engine.Now())
+	c.Site = site
+	if t != nil {
+		c.Task = t
+	}
+	return k.probes.Fire(c).Drop
+}
+
+// faultFired announces an injection that fired: the fault:fired point
+// carries the site, the injected error (syscall sites) and the legacy
+// message, which the stock metrics and trace probes turn into the
+// kernel.faults.injected counter and "fault" instants.
+func (k *Kernel) faultFired(t *Task, site string, err error, format string, args ...interface{}) {
+	if !k.probes.Attached(probe.PFaultFired) {
+		return
+	}
+	c := k.probes.Begin(probe.PFaultFired, k.engine.Now())
+	c.Site = site
+	if t != nil {
+		c.Task = t
+	}
+	c.Err = err
+	c.Format = format
+	c.Args = args
+	k.probes.Fire(c)
+}
+
+// stockFaults adapts a FaultPlane to the probe plane.
+type stockFaults struct {
+	fp FaultPlane
+}
+
+func (s *stockFaults) fire(c *probe.Ctx) probe.Verdict {
+	switch c.Point {
+	case probe.PFaultSite:
+		switch c.Site {
+		case "futex_spurious":
+			return probe.Verdict{Drop: s.fp.FutexSpurious(taskOf(c.Task), c.Addr)}
+		case "futex_lost_wake":
+			// The decision is about the waiter (spec task scoping keys on
+			// it); the firing task is the waker.
+			return probe.Verdict{Drop: s.fp.FutexDropWake(taskOf(c.Waiter), c.Addr)}
+		case "kc_kill", "sched_kill", "aio_helper_kill":
+			return probe.Verdict{Drop: s.fp.TaskShouldDie(taskOf(c.Task), c.Site)}
+		case "sched_delay":
+			return probe.Verdict{Delay: s.fp.ExtraDelay(taskOf(c.Task), c.Site)}
+		case "fs_slow":
+			return probe.Verdict{Scale: s.fp.IOScale(taskOf(c.Task), c.Site)}
+		default:
+			// Syscall sites (open, write, read, futex_wait).
+			return probe.Verdict{Err: s.fp.SyscallError(taskOf(c.Task), c.Site)}
+		}
+	case probe.PFaultArmed:
+		return probe.Verdict{Drop: s.fp.Armed(taskOf(c.Task), c.Site)}
+	}
+	return probe.Verdict{}
+}
+
+// stockTrace forwards trace points into the tracer ring. Formatting
+// stays deferred: the Format/Args pair is handed to the ring verbatim,
+// so evicted events never pay fmt.Sprintf (the pre-probe behavior).
+type stockTrace struct {
+	tr *sim.Tracer
+}
+
+func (s *stockTrace) fire(c *probe.Ctx) probe.Verdict {
+	switch c.Point {
+	case probe.PTraceLog:
+		s.tr.Add(c.Now, c.Site, c.Format, c.Args...)
+	case probe.PTraceInstant:
+		s.tr.Emit(c.Now, c.Site, probeMeta(c), c.Format, c.Args...)
+	case probe.PFaultFired:
+		s.tr.Emit(c.Now, "fault", probeMeta(c), c.Format, c.Args...)
+	case probe.PSpanBegin:
+		return probe.Verdict{Span: s.tr.BeginSpan(c.Now, c.Site, probeMeta(c), c.Format)}
+	case probe.PSpanEnd:
+		s.tr.EndSpan(c.Now, c.Span, probeMeta(c))
+	}
+	return probe.Verdict{}
+}
+
+// stockMetricsPoints are the attach points the metrics probe watches.
+var stockMetricsPoints = []probe.Point{
+	probe.PSyscallExit, probe.PSchedDispatch, probe.PSchedSwitch,
+	probe.PSchedULT, probe.PSchedSteal,
+	probe.PFutexWait, probe.PFutexWake, probe.PFutexWoken,
+	probe.PFutexRequeue, probe.PFutexTimeout, probe.PFutexTable,
+	probe.PTLSLoad, probe.PSignal, probe.PFaultFired,
+	probe.PCouple, probe.PDecouple,
+}
+
+// stockMetrics holds the registry handles previously cached on the
+// Kernel, resolved once at attach so every fire updates in place (no
+// map traffic on the syscall path beyond the per-name latency lookup).
+type stockMetrics struct {
+	reg    *metrics.Registry
+	sysLat map[string]*metrics.Histogram
+
+	runq   *metrics.Histogram
+	ctxKLT *metrics.Counter
+
+	fxWaits, fxWakes, fxWoken, fxLost  *metrics.Counter
+	fxSpurious, fxTimeouts, fxRequeues *metrics.Counter
+	tableSize                          *metrics.Gauge
+	tls, tlsCost, signals, faults      *metrics.Counter
+	ult, steals                        *metrics.Counter
+	couple, decouple                   *metrics.Histogram
+}
+
+func newStockMetrics(k *Kernel, reg *metrics.Registry) *stockMetrics {
+	m := &stockMetrics{
+		reg:    reg,
+		sysLat: make(map[string]*metrics.Histogram),
+		runq:   reg.Histogram("kernel.runq.depth"),
+		ctxKLT: reg.Counter("kernel.ctx_switch.klt"),
+	}
+	m.fxWaits = reg.Counter("kernel.futex.waits")
+	m.fxWakes = reg.Counter("kernel.futex.wake_calls")
+	m.fxWoken = reg.Counter("kernel.futex.woken")
+	m.fxLost = reg.Counter("kernel.futex.lost_wakes")
+	m.fxSpurious = reg.Counter("kernel.futex.spurious")
+	m.fxTimeouts = reg.Counter("kernel.futex.timeouts")
+	m.fxRequeues = reg.Counter("kernel.futex.requeued")
+	// Live futex-table entries (words with sleepers); its Max is the
+	// high-water mark, and hygiene demands Value 0 at quiescence.
+	m.tableSize = reg.Gauge("kernel.futex.table_size")
+	// TLS-switch cost attribution: the mechanism is a machine property
+	// (x86_64 arch_prctl syscall vs AArch64 user-mode tpidr_el0), so the
+	// counter name carries it (the Table III/IV ablation axis).
+	mech := "arch_prctl"
+	if k.machine.TLSUserAccessible {
+		mech = "tpidr_el0"
+	}
+	m.tls = reg.Counter("kernel.tls_switch." + mech)
+	m.tlsCost = reg.Counter("kernel.tls_switch.cost_ps")
+	m.signals = reg.Counter("kernel.signals.delivered")
+	m.faults = reg.Counter("kernel.faults.injected")
+	// BLT-plane handles (fired from internal/blt through the same
+	// registry).
+	m.ult = reg.Counter("blt.ctx_switch.ult")
+	m.steals = reg.Counter("blt.steals")
+	m.couple = reg.Histogram("blt.couple.ps")
+	m.decouple = reg.Histogram("blt.decouple.ps")
+	return m
+}
+
+// hist returns the latency histogram for the named system-call.
+func (m *stockMetrics) hist(name string) *metrics.Histogram {
+	h := m.sysLat[name]
+	if h == nil {
+		h = m.reg.Histogram("kernel.syscall.ps." + name)
+		m.sysLat[name] = h
+	}
+	return h
+}
+
+func (m *stockMetrics) fire(c *probe.Ctx) probe.Verdict {
+	switch c.Point {
+	case probe.PSyscallExit:
+		m.hist(c.Site).Observe(int64(c.Dur))
+	case probe.PSchedDispatch:
+		m.runq.Observe(c.Val)
+	case probe.PSchedSwitch:
+		m.ctxKLT.Inc()
+	case probe.PSchedULT:
+		m.ult.Inc()
+	case probe.PSchedSteal:
+		m.steals.Inc()
+	case probe.PFutexWait:
+		m.fxWaits.Inc()
+	case probe.PFutexWake:
+		m.fxWakes.Inc()
+	case probe.PFutexWoken:
+		m.fxWoken.Add(uint64(c.Val))
+	case probe.PFutexRequeue:
+		m.fxRequeues.Add(uint64(c.Val))
+	case probe.PFutexTimeout:
+		m.fxTimeouts.Inc()
+	case probe.PFutexTable:
+		m.tableSize.Set(c.Val)
+	case probe.PTLSLoad:
+		m.tls.Inc()
+		m.tlsCost.Add(uint64(c.Dur))
+	case probe.PSignal:
+		m.signals.Inc()
+	case probe.PFaultFired:
+		switch {
+		case c.Err != nil:
+			// A syscall-site injection (the only fires carrying an error).
+			m.faults.Inc()
+		case c.Site == "futex_spurious":
+			m.fxSpurious.Inc()
+		case c.Site == "futex_lost_wake":
+			m.fxLost.Inc()
+		}
+	case probe.PCouple:
+		m.couple.Observe(int64(c.Dur))
+	case probe.PDecouple:
+		m.decouple.Observe(int64(c.Dur))
+	}
+	return probe.Verdict{}
+}

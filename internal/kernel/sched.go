@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -116,8 +117,11 @@ func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
 // dispatch puts t on core c, resuming (or first-starting) its proc after
 // the given latency.
 func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
-	if k.mRunq != nil {
-		k.mRunq.Observe(int64(c.runq.Len()))
+	if k.probes.Attached(probe.PSchedDispatch) {
+		pc := k.probes.Begin(probe.PSchedDispatch, k.engine.Now())
+		pc.Task = t
+		pc.Val = int64(c.runq.Len())
+		k.probes.Fire(pc)
 	}
 	c.current = t
 	t.core = c
@@ -145,9 +149,7 @@ func (k *Kernel) scheduleNext(c *Core) {
 	}
 	k.ctxSwitches++
 	next.nCtxSwitches++
-	if k.mCtxKLT != nil {
-		k.mCtxKLT.Inc()
-	}
+	k.noteSwitch(next)
 	k.dispatch(next, c, k.machine.Costs.KernelSwitch)
 }
 
@@ -224,6 +226,12 @@ func (k *Kernel) exitTask(t *Task, status int) {
 	t.Charge(k.machine.Costs.ExitCost)
 	t.exited = true
 	t.exitCode = status
+	if k.probes.Attached(probe.PTaskExit) {
+		c := k.probes.Begin(probe.PTaskExit, k.engine.Now())
+		c.Task = t
+		c.Val = int64(status)
+		k.probes.Fire(c)
+	}
 	if k.super != nil {
 		k.super.OnExit(t)
 	}
@@ -272,9 +280,7 @@ func (t *Task) SchedYield() {
 	}
 	k.ctxSwitches++
 	t.nCtxSwitches++
-	if k.mCtxKLT != nil {
-		k.mCtxKLT.Inc()
-	}
+	k.noteSwitch(t)
 	t.Charge(k.machine.Costs.KernelSwitch)
 	next := c.pop()
 	t.state = TaskReady
@@ -323,6 +329,14 @@ func (k *Kernel) getSleepTimer() *sleepTimer {
 func (st *sleepTimer) fire() {
 	k := st.k
 	st.armed = false
+	if k.probes.Attached(probe.PTimerFire) {
+		c := k.probes.Begin(probe.PTimerFire, k.engine.Now())
+		c.Site = "sleep"
+		if t := st.q.head; t != nil {
+			c.Task = t
+		}
+		k.probes.Fire(c)
+	}
 	k.WakeOne(&st.q, k.machine.Costs.KernelSwitch)
 	if len(k.sleepTimers) < maxTimerPool {
 		k.sleepTimers = append(k.sleepTimers, st)

@@ -1,5 +1,7 @@
 package kernel
 
+import "repro/internal/probe"
+
 // Signal numbers (the subset the simulation uses).
 const (
 	SIGINT  = 2
@@ -144,8 +146,11 @@ func (k *Kernel) deliver(target *Task, sig int) {
 	h := target.sig.handlers[sig]
 	target.sig.Deliveries = append(target.sig.Deliveries,
 		Delivery{Sig: sig, TaskPID: target.pid, Handled: h != nil})
-	if k.mSignals != nil {
-		k.mSignals.Inc()
+	if k.probes.Attached(probe.PSignal) {
+		c := k.probes.Begin(probe.PSignal, k.engine.Now())
+		c.Task = target
+		c.Val = int64(sig)
+		k.probes.Fire(c)
 	}
 	k.emit(target, "signal", "signal %d -> %s (handled=%v)", sig, pidString(target), h != nil)
 	if h != nil {

@@ -3,6 +3,7 @@ package kernel
 import (
 	"repro/internal/fs"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -22,9 +23,9 @@ func (k *Kernel) countSyscall(t *Task, name string) {
 }
 
 // sysFrame carries the observability state opened by sysEnter across a
-// system-call's body to sysExit. A zero frame (on=false) means neither
-// metrics nor tracing are active; it lives on the stack, so the
-// fault-free, metrics-off path allocates nothing.
+// system-call's body to sysExit. A zero frame (on=false) means no
+// program watches the exit-side points; it lives on the stack, so the
+// unattached path allocates nothing.
 type sysFrame struct {
 	name  string
 	start sim.Time
@@ -32,35 +33,61 @@ type sysFrame struct {
 	on    bool
 }
 
-// sysEnter opens a system-call: the common bookkeeping plus, when a
-// registry or tracer is installed, the latency clock and a "syscall"
-// span on the executing core. Every return path of the call must run
-// sysExit with the frame. Latency is wall virtual time, so blocking
-// calls include their block — that is the number an application sees.
+// sysEnter opens a system-call: the common bookkeeping plus, when probe
+// programs watch the syscall points, the latency clock, the
+// syscall:enter fire (whose combined Delay verdict is charged to the
+// task — per-tenant throttling) and a "syscall" span on the executing
+// core. Every return path of the call must run sysExit with the frame.
+// Latency is wall virtual time, so blocking calls include their block —
+// that is the number an application sees.
 func (k *Kernel) sysEnter(t *Task, name string) sysFrame {
 	k.countSyscall(t, name)
-	tr := k.engine.Tracer()
-	if k.metrics == nil && tr == nil {
+	ps := k.probes
+	hasEnter := ps.Attached(probe.PSyscallEnter)
+	hasExit := ps.Attached(probe.PSyscallExit)
+	hasSpan := ps.Attached(probe.PSpanBegin)
+	if !hasEnter && !hasExit && !hasSpan {
 		return sysFrame{}
 	}
-	f := sysFrame{name: name, start: k.engine.Now(), on: true}
-	if tr != nil {
-		f.span = tr.BeginSpan(f.start, "syscall", taskMeta(t), name)
+	f := sysFrame{name: name, start: k.engine.Now(), on: hasExit || hasSpan}
+	if hasEnter {
+		c := ps.Begin(probe.PSyscallEnter, f.start)
+		c.Site = name
+		c.Task = t
+		if v := ps.Fire(c); v.Delay > 0 {
+			t.Charge(v.Delay)
+		}
+	}
+	if hasSpan {
+		c := ps.Begin(probe.PSpanBegin, f.start)
+		c.Site = "syscall"
+		c.Task = t
+		c.Format = name
+		f.span = ps.Fire(c).Span
 	}
 	return f
 }
 
-// sysExit closes the frame opened by sysEnter.
+// sysExit closes the frame opened by sysEnter: the syscall:exit fire
+// (wall latency in Dur) and the span end.
 func (k *Kernel) sysExit(t *Task, f sysFrame) {
 	if !f.on {
 		return
 	}
+	ps := k.probes
 	end := k.engine.Now()
-	if k.metrics != nil {
-		k.sysLatHist(f.name).Observe(int64(end.Sub(f.start)))
+	if ps.Attached(probe.PSyscallExit) {
+		c := ps.Begin(probe.PSyscallExit, end)
+		c.Site = f.name
+		c.Task = t
+		c.Dur = end.Sub(f.start)
+		ps.Fire(c)
 	}
-	if tr := k.engine.Tracer(); tr != nil {
-		tr.EndSpan(end, f.span, taskMeta(t))
+	if f.span != 0 && ps.Attached(probe.PSpanEnd) {
+		c := ps.Begin(probe.PSpanEnd, end)
+		c.Task = t
+		c.Span = f.span
+		ps.Fire(c)
 	}
 }
 
@@ -95,9 +122,11 @@ func (t *Task) LoadTLS(val uint64) {
 	if !k.machine.TLSUserAccessible {
 		f = k.sysEnter(t, "arch_prctl")
 	}
-	if k.mTLS != nil {
-		k.mTLS.Inc()
-		k.mTLSCost.Add(uint64(k.machine.Costs.TLSLoad))
+	if k.probes.Attached(probe.PTLSLoad) {
+		c := k.probes.Begin(probe.PTLSLoad, k.engine.Now())
+		c.Task = t
+		c.Dur = k.machine.Costs.TLSLoad
+		k.probes.Fire(c)
 	}
 	t.Charge(k.machine.Costs.TLSLoad)
 	t.tlsReg = val

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -215,6 +216,15 @@ func (t *Task) CPUTime() sim.Duration { return t.cpuTime }
 // Core returns the core the task currently runs on, or nil.
 func (t *Task) Core() *Core { return t.core }
 
+// CoreID returns the id of the core the task currently runs on, or -1
+// when off-CPU (probe.Task's view of placement).
+func (t *Task) CoreID() int {
+	if t.core == nil {
+		return -1
+	}
+	return t.core.id
+}
+
 // Exited reports whether the task has terminated.
 func (t *Task) Exited() bool { return t.exited }
 
@@ -302,6 +312,13 @@ func (t *Task) ClonePinned(name string, flags CloneFlags, core int, body TaskBod
 	}
 	if k.tracing() {
 		k.trace("clone %s -> %s (flags=%b)", pidString(t), pidString(child), flags)
+	}
+	if k.probes.Attached(probe.PTaskSpawn) {
+		c := k.probes.Begin(probe.PTaskSpawn, k.engine.Now())
+		c.Task = child
+		c.Waiter = t
+		c.Val = int64(flags)
+		k.probes.Fire(c)
 	}
 	k.makeRunnable(child, 0)
 	return child

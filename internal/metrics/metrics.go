@@ -231,7 +231,7 @@ func (r *Registry) Merge(o *Registry) {
 }
 
 // Sample is one flattened metric value (histograms expand to derived
-// .count/.p50/.p95/.p99/.max/.sum samples).
+// .count/.p50/.p90/.p95/.p99/.max/.sum samples).
 type Sample struct {
 	Kind  string // "counter", "gauge" or "hist"
 	Name  string
@@ -241,7 +241,7 @@ type Sample struct {
 // Snapshot flattens the registry into samples sorted by name — the
 // machine-readable view ulpbench merges into its JSON report.
 func (r *Registry) Snapshot() []Sample {
-	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+6*len(r.hists))
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+7*len(r.hists))
 	for name, c := range r.counters {
 		out = append(out, Sample{Kind: "counter", Name: name, Value: float64(c.v)})
 	}
@@ -252,6 +252,7 @@ func (r *Registry) Snapshot() []Sample {
 		out = append(out,
 			Sample{Kind: "hist", Name: name + ".count", Value: float64(h.count)},
 			Sample{Kind: "hist", Name: name + ".p50", Value: float64(h.Quantile(0.50))},
+			Sample{Kind: "hist", Name: name + ".p90", Value: float64(h.Quantile(0.90))},
 			Sample{Kind: "hist", Name: name + ".p95", Value: float64(h.Quantile(0.95))},
 			Sample{Kind: "hist", Name: name + ".p99", Value: float64(h.Quantile(0.99))},
 			Sample{Kind: "hist", Name: name + ".max", Value: float64(h.Max())},
@@ -281,9 +282,9 @@ func (r *Registry) Dump(w io.Writer) error {
 	}
 	for name, h := range r.hists {
 		lines = append(lines, line{name, fmt.Sprintf(
-			"hist     %-44s count=%d min=%d p50=%d p95=%d p99=%d max=%d sum=%d",
-			name, h.count, h.Min(), h.Quantile(0.50), h.Quantile(0.95),
-			h.Quantile(0.99), h.Max(), h.sum)})
+			"hist     %-44s count=%d min=%d p50=%d p90=%d p95=%d p99=%d max=%d sum=%d",
+			name, h.count, h.Min(), h.Quantile(0.50), h.Quantile(0.90),
+			h.Quantile(0.95), h.Quantile(0.99), h.Max(), h.sum)})
 	}
 	sort.Slice(lines, func(i, j int) bool {
 		if lines[i].name != lines[j].name {

@@ -115,8 +115,8 @@ func TestSnapshotSortedAndExpanded(t *testing.T) {
 	r.Counter("z").Inc()
 	r.Histogram("a.lat").Observe(10)
 	s := r.Snapshot()
-	if len(s) != 7 { // 6 hist samples + 1 counter
-		t.Fatalf("Snapshot len = %d, want 7", len(s))
+	if len(s) != 8 { // 7 hist samples + 1 counter
+		t.Fatalf("Snapshot len = %d, want 8", len(s))
 	}
 	for i := 1; i < len(s); i++ {
 		if s[i-1].Name > s[i].Name {
@@ -125,5 +125,36 @@ func TestSnapshotSortedAndExpanded(t *testing.T) {
 	}
 	if s[len(s)-1].Name != "z" || s[len(s)-1].Value != 1 {
 		t.Errorf("last sample = %+v, want counter z=1", s[len(s)-1])
+	}
+}
+
+// TestHistogramP90Column pins the derived p90: it must appear in both
+// the Snapshot expansion and the Dump rendering, ordered between p50
+// and p95 as any monotone quantile set must be.
+func TestHistogramP90Column(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if p50, p90, p95 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.95); p90 < p50 || p90 > p95 {
+		t.Errorf("quantiles not monotone: p50=%d p90=%d p95=%d", p50, p90, p95)
+	}
+	found := false
+	for _, s := range r.Snapshot() {
+		if s.Name == "lat.p90" {
+			found = true
+			if s.Value != float64(h.Quantile(0.90)) {
+				t.Errorf("lat.p90 sample = %v, want %d", s.Value, h.Quantile(0.90))
+			}
+		}
+	}
+	if !found {
+		t.Error("Snapshot missing the .p90 sample")
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("p90=")) {
+		t.Errorf("Dump missing the p90 column:\n%s", buf.String())
 	}
 }

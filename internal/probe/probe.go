@@ -1,0 +1,381 @@
+// Package probe is the deterministic programmable probe plane of the
+// simulated ULP-PiP stack — the userspace analogue of eBPF/bpftime
+// attach points. The kernel, BLT scheduler, futex table and runtime
+// layers fire named attach points (Point) at every site they previously
+// wired separately for fault injection, metrics and tracing; small
+// user-supplied Go programs (Func) attach to those points to observe,
+// aggregate into per-probe registries, veto (return an error to the
+// caller, generalizing fault injection), or delay (charge virtual time,
+// generalizing sched-delay faults).
+//
+// Determinism rules:
+//
+//   - A program must derive its decisions only from the Ctx it is handed
+//     (virtual time, task identity, site data) and its own state — never
+//     from wall clocks, map iteration order or goroutine identity. Under
+//     that contract, same seed + same probes ⇒ same schedule, so chaos
+//     digests and explorer traces stay replayable.
+//   - Every program attached to a point runs on every fire, even after an
+//     earlier program produced a verdict — mirroring the fault plane's
+//     stream-advancement invariant (a seeded program's RNG consumption
+//     must not depend on what other programs decided).
+//   - Observation-only programs (zero Verdict) are schedule-invisible:
+//     attaching them changes no event order, which the chaos digest
+//     equality tests pin.
+//
+// Cost contract: an unattached point costs one nil/length check at the
+// fire site and allocates nothing — pinned by the kernel/sim alloc
+// regression tests. Fire-time contexts are recycled from a small
+// fixed-depth pool, so dispatch itself is allocation-free too.
+package probe
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Point names one attach point. The zero value is invalid.
+type Point uint8
+
+// Attach points. The fault/metrics/trace columns of the old wiring map
+// onto these as three stock programs (see internal/kernel).
+const (
+	pInvalid Point = iota
+
+	// PSyscallEnter fires when a system-call begins, before its cost is
+	// charged. Site = syscall name. Verdict.Delay is charged to the task
+	// (per-tenant throttling); Verdict.Err is ignored here — syscall
+	// vetoes go through PFaultSite, which has error plumbing at every
+	// fallible site.
+	PSyscallEnter
+	// PSyscallExit fires when a system-call completes. Site = syscall
+	// name, Dur = wall virtual latency (blocking time included).
+	PSyscallExit
+	// PSchedDispatch fires when the kernel dispatches a task onto a CPU
+	// core. Val = the core's ready-queue depth at dispatch.
+	PSchedDispatch
+	// PSchedSwitch fires on a kernel-level context switch.
+	PSchedSwitch
+	// PSchedULT fires when a BLT scheduler dispatches a user context.
+	// Verdict.Delay is charged to the carrier before the swap.
+	PSchedULT
+	// PSchedSteal fires when a BLT scheduler steals a UC from a sibling.
+	PSchedSteal
+	// PFutexWait fires when a task enters futex_wait. Addr = word.
+	PFutexWait
+	// PFutexWake fires on a futex wake call. Addr = word, Val = slots
+	// requested.
+	PFutexWake
+	// PFutexWoken fires after a wake/requeue delivered wakeups. Val =
+	// waiters actually made runnable.
+	PFutexWoken
+	// PFutexRequeue fires after FUTEX_CMP_REQUEUE moved waiters. Val =
+	// waiters moved to the second word.
+	PFutexRequeue
+	// PFutexTimeout fires when a timed futex wait ends by timeout.
+	PFutexTimeout
+	// PFutexTable fires when the futex table gains or drops a word entry.
+	// Val = live entries after the change.
+	PFutexTable
+	// PTimerFire fires when a kernel timer callback runs. Site = "futex"
+	// or "sleep".
+	PTimerFire
+	// PTaskSpawn fires when clone creates a task. Task = child, Waiter =
+	// creating task.
+	PTaskSpawn
+	// PTaskExit fires when a task terminates. Val = exit status.
+	PTaskExit
+	// PSignal fires when a signal is delivered. Val = signal number,
+	// Task = receiving task.
+	PSignal
+	// PTLSLoad fires when a task loads its TLS register. Dur = the
+	// machine's TLS-load cost.
+	PTLSLoad
+	// PFaultSite fires at a fault-injection decision point. Site = the
+	// fault site name ("open", "futex_lost_wake", "kc_kill", ...). The
+	// combined verdict decides: Err fails the syscall, Drop kills the
+	// task / drops the wake / fires the spurious wakeup, Delay adds
+	// latency (sched_delay), Scale multiplies I/O cost (fs_slow).
+	PFaultSite
+	// PFaultArmed queries whether a site could ever fire for the task,
+	// without consuming randomness (Verdict.Drop = armed). Recovery
+	// paths use it to decide whether to arm timed waits.
+	PFaultArmed
+	// PFaultFired observes an injection that fired (after the PFaultSite
+	// verdict was applied). Site, Err and the legacy message are set.
+	PFaultFired
+	// PTraceLog is an untyped log line. Site = kind ("kernel", "blt"),
+	// Format/Args = the deferred message.
+	PTraceLog
+	// PTraceInstant is a typed instant event attributed to Task. Site =
+	// kind ("fault", "signal", "supervise", ...).
+	PTraceInstant
+	// PSpanBegin opens a duration span. Site = category ("syscall",
+	// "blt.span"), Format = the span name. The combined Verdict.Span is
+	// the id to close with.
+	PSpanBegin
+	// PSpanEnd closes the span with id Ctx.Span.
+	PSpanEnd
+	// PCouple observes a completed BLT couple handshake. Dur = latency.
+	PCouple
+	// PDecouple observes a completed BLT decouple handshake. Dur =
+	// latency.
+	PDecouple
+
+	// NumPoints is the number of valid points plus one (index bound).
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	PSyscallEnter:  "syscall:enter",
+	PSyscallExit:   "syscall:exit",
+	PSchedDispatch: "sched:dispatch",
+	PSchedSwitch:   "sched:switch",
+	PSchedULT:      "sched:ult",
+	PSchedSteal:    "sched:steal",
+	PFutexWait:     "futex:wait",
+	PFutexWake:     "futex:wake",
+	PFutexWoken:    "futex:woken",
+	PFutexRequeue:  "futex:requeue",
+	PFutexTimeout:  "futex:timeout",
+	PFutexTable:    "futex:table",
+	PTimerFire:     "timer:fire",
+	PTaskSpawn:     "task:spawn",
+	PTaskExit:      "task:exit",
+	PSignal:        "signal:deliver",
+	PTLSLoad:       "tls:load",
+	PFaultSite:     "fault:site",
+	PFaultArmed:    "fault:armed",
+	PFaultFired:    "fault:fired",
+	PTraceLog:      "trace:log",
+	PTraceInstant:  "trace:instant",
+	PSpanBegin:     "trace:span-begin",
+	PSpanEnd:       "trace:span-end",
+	PCouple:        "blt:couple",
+	PDecouple:      "blt:decouple",
+}
+
+// String returns the point's attach-point name (e.g. "syscall:enter").
+func (p Point) String() string {
+	if p < NumPoints && pointNames[p] != "" {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// PointByName resolves an attach-point name; zero Point when unknown.
+func PointByName(name string) Point {
+	for p := Point(1); p < NumPoints; p++ {
+		if pointNames[p] == name {
+			return p
+		}
+	}
+	return pInvalid
+}
+
+// Points lists every attach point in declaration order.
+func Points() []Point {
+	out := make([]Point, 0, NumPoints-1)
+	for p := Point(1); p < NumPoints; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Task is the task identity a probe sees — satisfied by *kernel.Task
+// without the probe layer importing the kernel.
+type Task interface {
+	Name() string
+	PID() int
+	TGID() int
+	// CoreID reports the CPU core the task currently occupies, -1 when
+	// off-CPU.
+	CoreID() int
+}
+
+// Ctx is the context handed to probe programs at a fire. Fields beyond
+// Point and Now are set per the firing point's documentation; the rest
+// are zero. Contexts are recycled — programs must not retain them past
+// the call.
+type Ctx struct {
+	Point Point
+	Now   sim.Time
+
+	// Site qualifies the point: syscall name, fault site, trace kind or
+	// span category, timer kind.
+	Site string
+	// Name overrides the display name for trace metadata (BLT spans are
+	// attributed to the BLT, not its carrier task).
+	Name string
+
+	Task   Task // primary task (nil at sites with no task context)
+	Waiter Task // secondary party (wake target, clone creator)
+
+	Addr uint64       // futex word
+	Val  int64        // point-specific count (depth, slots, status, signo)
+	Dur  sim.Duration // point-specific duration (latency, cost)
+	Err  error        // the injected error at PFaultFired
+	Span uint64       // span id at PSpanEnd
+
+	// Format/Args carry the legacy trace message, formatted lazily by
+	// whoever renders it (the stock trace probe defers to the tracer
+	// ring's deferred rendering).
+	Format string
+	Args   []interface{}
+}
+
+// Verdict is a program's decision at a fire. The zero Verdict observes
+// without interfering. Verdicts from all programs on a point combine:
+// first non-nil Err wins, Delays add, Drop ORs, Scales multiply, last
+// non-zero Span wins.
+type Verdict struct {
+	Err   error
+	Delay sim.Duration
+	Drop  bool
+	Scale float64
+	Span  uint64
+}
+
+// Func is one probe program. It runs synchronously at the fire site, in
+// deterministic virtual time.
+type Func func(*Ctx) Verdict
+
+// Program is one attached probe: a Func plus the points it watches and a
+// lazily created private metrics registry for aggregation.
+type Program struct {
+	name   string
+	points []Point
+	fn     Func
+	agg    *metrics.Registry
+}
+
+// Name returns the program's attach name.
+func (p *Program) Name() string { return p.name }
+
+// PointsAttached returns the points the program is attached to.
+func (p *Program) PointsAttached() []Point {
+	out := make([]Point, len(p.points))
+	copy(out, p.points)
+	return out
+}
+
+// Agg returns the program's private aggregation registry, creating it on
+// first use. Stock probes (SLO, count) publish their histograms here;
+// ulpsim dumps it after the run.
+func (p *Program) Agg() *metrics.Registry {
+	if p.agg == nil {
+		p.agg = metrics.NewRegistry()
+	}
+	return p.agg
+}
+
+// fireDepth bounds reentrant fires (a program whose side effects reach
+// another attach point). Deeper nesting recycles the oldest context.
+const fireDepth = 4
+
+// Registry is one machine's set of attached probe programs, indexed by
+// point. The zero/nil Registry is valid and permanently unattached.
+type Registry struct {
+	progs [NumPoints][]*Program
+	all   []*Program
+
+	ctxs  [fireDepth]Ctx
+	depth int
+}
+
+// NewRegistry creates an empty probe registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Attached reports whether any program watches point p — the one check
+// an unattached fire site pays.
+func (r *Registry) Attached(p Point) bool {
+	return r != nil && len(r.progs[p]) > 0
+}
+
+// Begin leases a fire context for point p at virtual time now. The
+// caller fills the point-specific fields and passes it to Fire exactly
+// once. Begin/Fire pairs may nest up to the recycle depth.
+func (r *Registry) Begin(p Point, now sim.Time) *Ctx {
+	c := &r.ctxs[r.depth%fireDepth]
+	r.depth++
+	*c = Ctx{Point: p, Now: now}
+	return c
+}
+
+// Fire runs every program attached to c.Point and returns the combined
+// verdict. All programs run regardless of earlier verdicts (the
+// stream-advancement invariant).
+func (r *Registry) Fire(c *Ctx) Verdict {
+	// The lease is released only after every program ran: a nested
+	// Begin from inside a program must not recycle the live context.
+	defer func() { r.depth-- }()
+	var v Verdict
+	for _, pr := range r.progs[c.Point] {
+		w := pr.fn(c)
+		if v.Err == nil {
+			v.Err = w.Err
+		}
+		v.Delay += w.Delay
+		v.Drop = v.Drop || w.Drop
+		if w.Scale != 0 {
+			if v.Scale == 0 {
+				v.Scale = w.Scale
+			} else {
+				v.Scale *= w.Scale
+			}
+		}
+		if w.Span != 0 {
+			v.Span = w.Span
+		}
+	}
+	return v
+}
+
+// Attach registers fn under name at the given points and returns the
+// program handle. Attach before the simulation runs: attaching
+// mid-flight is deterministic but changes the schedule from that point
+// on if the program interferes.
+func (r *Registry) Attach(name string, fn Func, points ...Point) *Program {
+	pr := &Program{name: name, fn: fn}
+	for _, p := range points {
+		if p == pInvalid || p >= NumPoints {
+			panic(fmt.Sprintf("probe: attach %q to invalid point %d", name, p))
+		}
+		pr.points = append(pr.points, p)
+		r.progs[p] = append(r.progs[p], pr)
+	}
+	r.all = append(r.all, pr)
+	return pr
+}
+
+// Detach removes a program from every point it is attached to.
+func (r *Registry) Detach(pr *Program) {
+	if pr == nil {
+		return
+	}
+	for _, p := range pr.points {
+		list := r.progs[p]
+		for i, q := range list {
+			if q == pr {
+				r.progs[p] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, q := range r.all {
+		if q == pr {
+			r.all = append(r.all[:i], r.all[i+1:]...)
+			break
+		}
+	}
+	pr.points = nil
+}
+
+// Programs returns the attached programs in attach order.
+func (r *Registry) Programs() []*Program {
+	out := make([]*Program, len(r.all))
+	copy(out, r.all)
+	return out
+}

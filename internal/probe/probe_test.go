@@ -1,0 +1,315 @@
+package probe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeTask satisfies Task without dragging the kernel in.
+type fakeTask struct {
+	name string
+	pid  int
+}
+
+func (f *fakeTask) Name() string { return f.name }
+func (f *fakeTask) PID() int     { return f.pid }
+func (f *fakeTask) TGID() int    { return f.pid }
+func (f *fakeTask) CoreID() int  { return -1 }
+
+func at(us uint64) sim.Time {
+	return sim.Time(0).Add(sim.Duration(us) * sim.Microsecond)
+}
+
+func TestPointNameRoundTrip(t *testing.T) {
+	for _, p := range Points() {
+		name := p.String()
+		if strings.HasPrefix(name, "point(") {
+			t.Errorf("point %d has no name", p)
+			continue
+		}
+		if got := PointByName(name); got != p {
+			t.Errorf("PointByName(%q) = %v, want %v", name, got, p)
+		}
+	}
+	if PointByName("nope") != pInvalid {
+		t.Error("PointByName accepted an unknown name")
+	}
+	if PointByName("") != pInvalid {
+		t.Error("PointByName accepted the empty name")
+	}
+	if len(Points()) != int(NumPoints)-1 {
+		t.Errorf("Points() lists %d points, want %d", len(Points()), NumPoints-1)
+	}
+}
+
+func TestAttachDetachAndAttached(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Attached(PSyscallEnter) {
+		t.Error("nil registry claims attachment")
+	}
+	r := NewRegistry()
+	if r.Attached(PSyscallEnter) {
+		t.Error("empty registry claims attachment")
+	}
+	fired := 0
+	pr := r.Attach("obs", func(*Ctx) Verdict { fired++; return Verdict{} },
+		PSyscallEnter, PFutexWait)
+	if !r.Attached(PSyscallEnter) || !r.Attached(PFutexWait) {
+		t.Error("Attached false after Attach")
+	}
+	if r.Attached(PSyscallExit) {
+		t.Error("Attached true on a point the program does not watch")
+	}
+	if got := pr.PointsAttached(); len(got) != 2 {
+		t.Errorf("PointsAttached = %v", got)
+	}
+	if ps := r.Programs(); len(ps) != 1 || ps[0] != pr {
+		t.Errorf("Programs = %v", ps)
+	}
+	r.Fire(r.Begin(PSyscallEnter, 0))
+	if fired != 1 {
+		t.Errorf("fired %d times, want 1", fired)
+	}
+	r.Detach(pr)
+	if r.Attached(PSyscallEnter) || r.Attached(PFutexWait) {
+		t.Error("Attached true after Detach")
+	}
+	if len(r.Programs()) != 0 {
+		t.Error("Programs non-empty after Detach")
+	}
+	r.Detach(nil) // must not panic
+}
+
+// TestVerdictCombination pins the combining rules: first Err wins,
+// Delays add, Drop ORs, Scales multiply, last non-zero Span wins — and
+// every program runs regardless of earlier verdicts (the
+// stream-advancement invariant).
+func TestVerdictCombination(t *testing.T) {
+	r := NewRegistry()
+	errA, errB := errors.New("a"), errors.New("b")
+	ran := []string{}
+	r.Attach("a", func(*Ctx) Verdict {
+		ran = append(ran, "a")
+		return Verdict{Err: errA, Delay: 3, Drop: false, Scale: 2, Span: 7}
+	}, PFaultSite)
+	r.Attach("b", func(*Ctx) Verdict {
+		ran = append(ran, "b")
+		return Verdict{Err: errB, Delay: 4, Drop: true, Scale: 5, Span: 9}
+	}, PFaultSite)
+	r.Attach("c", func(*Ctx) Verdict {
+		ran = append(ran, "c")
+		return Verdict{}
+	}, PFaultSite)
+	v := r.Fire(r.Begin(PFaultSite, 0))
+	if v.Err != errA {
+		t.Errorf("Err = %v, want first program's %v", v.Err, errA)
+	}
+	if v.Delay != 7 {
+		t.Errorf("Delay = %d, want 3+4", v.Delay)
+	}
+	if !v.Drop {
+		t.Error("Drop not ORed")
+	}
+	if v.Scale != 10 {
+		t.Errorf("Scale = %v, want 2*5", v.Scale)
+	}
+	if v.Span != 9 {
+		t.Errorf("Span = %d, want the last non-zero 9", v.Span)
+	}
+	if len(ran) != 3 {
+		t.Errorf("ran %v — every program must run despite earlier verdicts", ran)
+	}
+}
+
+// TestBeginFireNesting pins the context pool: a program whose side
+// effects reach another attach point leases a distinct context.
+func TestBeginFireNesting(t *testing.T) {
+	r := NewRegistry()
+	var inner string
+	r.Attach("outer", func(c *Ctx) Verdict {
+		ci := r.Begin(PTraceLog, c.Now)
+		ci.Site = "nested"
+		if ci == c {
+			t.Error("nested Begin returned the outer context")
+		}
+		r.Fire(ci)
+		if c.Site != "outer-site" {
+			t.Errorf("outer context clobbered by nested fire: Site=%q", c.Site)
+		}
+		return Verdict{}
+	}, PSyscallEnter)
+	r.Attach("inner", func(c *Ctx) Verdict {
+		inner = c.Site
+		return Verdict{}
+	}, PTraceLog)
+	c := r.Begin(PSyscallEnter, 0)
+	c.Site = "outer-site"
+	r.Fire(c)
+	if inner != "nested" {
+		t.Errorf("nested fire saw Site=%q", inner)
+	}
+}
+
+// TestUnattachedFireCostsNothing pins the cost contract at the probe
+// layer itself: with nothing attached, the guarded fire-site pattern
+// allocates zero bytes, and even a leased Begin/Fire pair with an
+// observe-only program allocates nothing.
+func TestUnattachedFireCostsNothing(t *testing.T) {
+	r := NewRegistry()
+	if got := testing.AllocsPerRun(100, func() {
+		if r.Attached(PSyscallEnter) {
+			t.Fatal("nothing is attached")
+		}
+	}); got != 0 {
+		t.Errorf("unattached check allocates %v/op, want 0", got)
+	}
+	r.Attach("obs", func(*Ctx) Verdict { return Verdict{} }, PSyscallEnter)
+	if got := testing.AllocsPerRun(100, func() {
+		c := r.Begin(PSyscallEnter, 0)
+		c.Site = "write"
+		r.Fire(c)
+	}); got != 0 {
+		t.Errorf("observe-only dispatch allocates %v/op, want 0", got)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("throttle:task=t2.,interval_us=50,burst=4;slo:syscall=open,p99_us=800;count:points=futex:wait+futex:wake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	th := specs[0]
+	if th.Name != "throttle" || th.Task != "t2." || th.IntervalUS != 50 || th.Burst != 4 {
+		t.Errorf("throttle spec = %+v", th)
+	}
+	slo := specs[1]
+	if slo.Name != "slo" || slo.Syscall != "open" || slo.P99US != 800 {
+		t.Errorf("slo spec = %+v", slo)
+	}
+	cnt := specs[2]
+	if cnt.Name != "count" || len(cnt.Points) != 2 || cnt.Points[0] != PFutexWait || cnt.Points[1] != PFutexWake {
+		t.Errorf("count spec = %+v", cnt)
+	}
+	// Round trip: the rendered string parses back to the same specs.
+	again, err := ParseSpecs(SpecsString(specs))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if SpecsString(again) != SpecsString(specs) {
+		t.Errorf("round trip %q != %q", SpecsString(again), SpecsString(specs))
+	}
+	if got, _ := ParseSpecs(""); got != nil {
+		t.Errorf("empty spec parsed to %v", got)
+	}
+}
+
+func TestParseSpecsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"nope:interval_us=5",          // unknown probe
+		"throttle",                    // missing interval_us
+		"throttle:interval_us=0",      // zero interval
+		"throttle:interval_us=x",      // non-numeric
+		"throttle:interval_us=5,zz=1", // unknown option
+		"slo:task=a",                  // missing p99_us
+		"slo:p99_us=0",                // zero bound
+		"count:task=a",                // missing points
+		"count:points=bogus:point",    // unknown attach point
+		"throttle:interval_us",        // option without =
+	} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestThrottleTokenBucket pins the virtual-time token-bucket math:
+// burst tokens up front, one token per interval after, delays that park
+// consecutive over-budget calls on successive refill boundaries.
+func TestThrottleTokenBucket(t *testing.T) {
+	th := NewThrottle("w", "", 10*sim.Microsecond, 2)
+	task := &fakeTask{name: "w0", pid: 3}
+	fire := func(us uint64) sim.Duration {
+		c := &Ctx{Point: PSyscallEnter, Now: at(us), Site: "write", Task: task}
+		return th.Fire(c).Delay
+	}
+	// Burst: the first two calls at t=0 pass free.
+	if d := fire(0); d != 0 {
+		t.Errorf("call 1 delayed %v", d)
+	}
+	if d := fire(0); d != 0 {
+		t.Errorf("call 2 delayed %v", d)
+	}
+	// Bucket empty: the next two calls at t=0 queue on successive refills.
+	if d := fire(0); d != 10*sim.Microsecond {
+		t.Errorf("call 3 delay = %v, want 10us", d)
+	}
+	if d := fire(0); d != 20*sim.Microsecond {
+		t.Errorf("call 4 delay = %v, want 20us", d)
+	}
+	// Long idle: the bucket refills but never past burst.
+	if d := fire(500); d != 0 {
+		t.Errorf("post-idle call delayed %v", d)
+	}
+	if d := fire(500); d != 0 {
+		t.Errorf("post-idle call 2 delayed %v (burst should hold 2)", d)
+	}
+	if d := fire(500); d == 0 {
+		t.Error("post-idle call 3 passed; burst must cap the refill")
+	}
+	total, delayed := th.Stats()
+	if total != 7 || delayed != 3 {
+		t.Errorf("Stats = (%d, %d), want (7, 3)", total, delayed)
+	}
+	// Scoping: other tasks and other syscalls pass untouched.
+	other := &fakeTask{name: "x0", pid: 4}
+	c := &Ctx{Point: PSyscallEnter, Now: at(500), Site: "write", Task: other}
+	if v := th.Fire(c); v.Delay != 0 {
+		t.Errorf("non-matching task delayed %v", v.Delay)
+	}
+	scoped := NewThrottle("", "open", 10*sim.Microsecond, 1)
+	c = &Ctx{Point: PSyscallEnter, Now: at(0), Site: "write", Task: task}
+	scoped.Fire(c)
+	if total, _ := scoped.Stats(); total != 0 {
+		t.Errorf("syscall-scoped throttle matched %d non-open calls", total)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	slo := NewSLO("", "", 100*sim.Microsecond)
+	r := NewRegistry()
+	slo.prog = r.Attach("slo", slo.Fire, PSyscallExit)
+	if err := slo.Check(); err != nil {
+		t.Errorf("empty SLO check failed: %v", err)
+	}
+	task := &fakeTask{name: "w0", pid: 3}
+	observe := func(site string, d sim.Duration) {
+		c := r.Begin(PSyscallExit, 0)
+		c.Site, c.Task, c.Dur = site, task, d
+		r.Fire(c)
+	}
+	for i := 0; i < 100; i++ {
+		observe("write", 10*sim.Microsecond)
+	}
+	if err := slo.Check(); err != nil {
+		t.Errorf("in-bound p99 failed the check: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		observe("open", 5*sim.Millisecond)
+	}
+	err := slo.Check()
+	if err == nil {
+		t.Fatal("out-of-bound p99 passed the check")
+	}
+	if !strings.Contains(err.Error(), "open") || strings.Contains(err.Error(), "write") {
+		t.Errorf("check error should name only the violating syscall: %v", err)
+	}
+	if s := slo.Summary(); !strings.Contains(s, "open") || !strings.Contains(s, "write") {
+		t.Errorf("summary should cover every observed syscall: %s", s)
+	}
+}

@@ -124,6 +124,16 @@ func (t *Tracer) DumpChrome(w io.Writer, processName string) error {
 		Name: "process_name", Ph: "M", PID: 1, TID: 0,
 		Args: map[string]interface{}{"name": processName},
 	}}
+	// Surface ring eviction in the export itself: a capped trace that
+	// silently dropped its oldest events reads as a complete record
+	// otherwise. The counter rides as metadata so viewers ignore it but
+	// tooling (and humans grepping the JSON) can see the loss.
+	if dropped := t.Dropped(); dropped > 0 {
+		meta = append(meta, chromeEvent{
+			Name: "trace_dropped_events", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]interface{}{"dropped": dropped, "retained": len(evs)},
+		})
+	}
 	ids := make([]int, 0, len(tids))
 	for tid := range tids {
 		ids = append(ids, tid)

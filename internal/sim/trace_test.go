@@ -94,3 +94,34 @@ func TestDumpChromeClosesUnmatchedSpans(t *testing.T) {
 		t.Errorf("missing process metadata:\n%s", out)
 	}
 }
+
+// TestDumpChromeSurfacesDroppedEvents pins the eviction metadata: a
+// capped tracer that dropped events must say so in the Chrome export,
+// and an uncapped one must not emit the record at all.
+func TestDumpChromeSurfacesDroppedEvents(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Add(Time(i), "k", "e%d", i)
+	}
+	var buf bytes.Buffer
+	if err := tr.DumpChrome(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"name":"trace_dropped_events"`) || !strings.Contains(out, `"dropped":3`) {
+		t.Errorf("export missing the dropped-events metadata:\n%s", out)
+	}
+	if !strings.Contains(out, `"retained":2`) {
+		t.Errorf("export missing the retained count:\n%s", out)
+	}
+
+	full := NewTracer(0)
+	full.Add(1, "k", "e")
+	buf.Reset()
+	if err := full.DumpChrome(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_dropped_events") {
+		t.Errorf("lossless export claims drops:\n%s", buf.String())
+	}
+}
