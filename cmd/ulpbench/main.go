@@ -33,12 +33,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
 	"repro/internal/metrics"
 	"repro/internal/probe"
+	"repro/internal/schedpolicy"
 )
 
 const (
@@ -63,6 +65,7 @@ func main() {
 	metricsJSON := flag.Bool("metrics-json", false, "aggregate kernel metrics over every run into the JSON report (implies -json)")
 	reportPath := flag.String("report", "", "write a full markdown report to this file (runs everything)")
 	probeStr := flag.String("probe", "", "with -scale: attach stock probes to every row's kernel (e.g. 'slo:p99_us=500'); a failing SLO check fails the row")
+	schedPolicy := flag.String("sched-policy", "", "scheduler policy for every benchmark kernel: "+strings.Join(schedpolicy.Names(), "|")+" (empty = stock dispatch)")
 	flag.Parse()
 	bench.Runs = *runs
 	if *probeStr != "" {
@@ -72,6 +75,15 @@ func main() {
 			os.Exit(1)
 		}
 		bench.ProbeSpecs = specs
+	}
+	if *schedPolicy != "" {
+		// Validate the spec once up front; bench parses a fresh instance
+		// per kernel so stateful policies never leak state across runs.
+		if _, err := schedpolicy.New(*schedPolicy); err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
+		bench.SchedPolicy = *schedPolicy
 	}
 	bench.Parallelism = *parallel
 	if *metricsJSON {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/probe"
+	"repro/internal/schedpolicy"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 	"repro/internal/timeline"
@@ -77,26 +78,35 @@ func main() {
 		exploreTrace = flag.String("explore-trace", "", "replay this comma-separated decision trace instead of exploring")
 		probeStr     = flag.String("probe", "", "stock probe specs, e.g. 'throttle:task=worker,interval_us=50;slo:p99_us=800' (see -probe-list)")
 		probeList    = flag.Bool("probe-list", false, "list attach points and stock probes, then exit")
+		schedPolicy  = flag.String("sched-policy", "", "scheduler policy: "+strings.Join(schedpolicy.Names(), "|")+" (with optional :params; empty = stock dispatch)")
 	)
 	flag.Parse()
 	if *probeList {
 		fmt.Print(probe.ListStock())
 		return
 	}
+	if *schedPolicy != "" {
+		// Validate once up front; each run mode parses its own fresh
+		// instance so stateful policies never span simulations.
+		if _, perr := schedpolicy.New(*schedPolicy); perr != nil {
+			fmt.Fprintln(os.Stderr, "ulpsim:", perr)
+			os.Exit(1)
+		}
+	}
 	var err error
 	if *traceFormat != "text" && *traceFormat != "chrome" {
 		err = fmt.Errorf("unknown trace format %q (want text or chrome)", *traceFormat)
 	} else if *chaosMode {
 		err = runChaos(*machineName, *ulps, *ops, *idle, *signals, *seed, *faults,
-			*tracePath, *traceCap, *traceFormat, *showMetrics, *superviseOn, *stallUS, *probeStr)
+			*tracePath, *traceCap, *traceFormat, *showMetrics, *superviseOn, *stallUS, *probeStr, *schedPolicy)
 	} else if *exploreMode {
 		err = runExplore(*machineName, *idle, *exploreScen, *explorePol,
-			*exploreRuns, *exploreDepth, *seed, *exploreTrace, *probeStr)
+			*exploreRuns, *exploreDepth, *seed, *exploreTrace, *probeStr, *schedPolicy)
 	} else {
 		err = run(*machineName, *ulps, *progCores, *syscallCores, *ops,
 			*computeUS, *writeSize, *idle, *signals, *tracePath, *traceCap,
 			*traceFormat, *showMetrics, *workSteal, *preemptUS, *showTimeline,
-			*seed, *faults, *superviseOn, *stallUS, *probeStr)
+			*seed, *faults, *superviseOn, *stallUS, *probeStr, *schedPolicy)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ulpsim:", err)
@@ -142,7 +152,7 @@ func dumpMetrics(reg *metrics.Registry) error {
 // digest.
 func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint64, faultsStr string,
 	tracePath string, traceCap int, traceFormat string, showMetrics bool,
-	superviseOn bool, stallUS float64, probeStr string) error {
+	superviseOn bool, stallUS float64, probeStr, schedPolicy string) error {
 	m := arch.ByName(machineName)
 	if m == nil {
 		return fmt.Errorf("unknown machine %q (want Wallaby or Albireo)", machineName)
@@ -167,7 +177,7 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 		Machine: m, Seed: seed, Specs: specs,
 		ULPs: ulps, Ops: ops, Idle: idlePolicy, SigMode: sigMode,
 		Supervise: superviseOn, StallHorizon: sim.FromUS(stallUS),
-		Probes: probes,
+		Probes: probes, SchedPolicy: schedPolicy,
 	}
 	cfg1 := cfg
 	var tracer *sim.Tracer
@@ -221,7 +231,7 @@ func runChaos(machineName string, ulps, ops int, idle, signals string, seed uint
 // decision prefix and printed with the exact replay command; -explore-trace
 // replays such a prefix deterministically.
 func runExplore(machineName, idle, scenario, policyStr string,
-	runs, depth int, seed uint64, traceStr, probeStr string) error {
+	runs, depth int, seed uint64, traceStr, probeStr, schedPolicy string) error {
 	if probeStr != "" {
 		specs, err := probe.ParseSpecs(probeStr)
 		if err != nil {
@@ -229,6 +239,7 @@ func runExplore(machineName, idle, scenario, policyStr string,
 		}
 		explore.ProbeSpecs = specs
 	}
+	explore.PolicySpec = schedPolicy
 	var mk func() *arch.Machine
 	switch strings.ToLower(machineName) {
 	case "wallaby":
@@ -314,7 +325,7 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 	computeUS float64, writeSize int, idle, signals, tracePath string, traceCap int,
 	traceFormat string, showMetrics bool,
 	workSteal bool, preemptUS float64, showTimeline bool, seed uint64, faultsStr string,
-	superviseOn bool, stallUS float64, probeStr string) error {
+	superviseOn bool, stallUS float64, probeStr, schedPolicy string) error {
 
 	m := arch.ByName(machineName)
 	if m == nil {
@@ -335,6 +346,15 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		e.SetTracer(tracer)
 	}
 	k := kernel.New(e, m)
+	var ultPol blt.ULTPolicy
+	if schedPolicy != "" {
+		pol, err := schedpolicy.New(schedPolicy)
+		if err != nil {
+			return err
+		}
+		k.SetSchedPolicy(pol)
+		ultPol = pol
+	}
 	var reg *metrics.Registry
 	if showMetrics {
 		reg = metrics.NewRegistry()
@@ -380,6 +400,7 @@ func run(machineName string, ulps, progCores, syscallCores, ops int,
 		Audit:          true,
 		WorkStealing:   workSteal,
 		PreemptQuantum: sim.FromUS(preemptUS),
+		SchedPolicy:    ultPol,
 	}
 
 	worker := &loader.Image{

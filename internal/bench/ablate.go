@@ -198,6 +198,7 @@ func Fig6Scenario(m *arch.Machine, syscallCores []int, oversubs []int) ([]Fig6Po
 			var makespan sim.Duration
 			e := sim.New()
 			k := kernel.New(e, m)
+			cfg.SchedPolicy = applyPolicy(k)
 			finish := instrument(k)
 			_, bootErr := core.Boot(k, cfg, func(rt *core.Runtime) int {
 				start := e.Now()

@@ -11,18 +11,43 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/blt"
 	"repro/internal/kernel"
+	"repro/internal/schedpolicy"
 	"repro/internal/sim"
 )
 
 // Runs is the number of repetitions per measurement (paper: 10).
 var Runs = 3
 
+// SchedPolicy selects the scheduler policy for every benchmark kernel
+// (empty = stock dispatch). The CLI validates the spec before setting
+// this; a fresh policy instance is parsed per kernel so stateful
+// policies (cosched, tenant) never leak pass/gang state across runs.
+var SchedPolicy string
+
+// applyPolicy installs the kernel half of the selected policy on k and
+// returns the ULT half for core.Config threading (nil when no policy is
+// selected). The spec was validated at flag-parse time, so a parse
+// failure here is a programming error.
+func applyPolicy(k *kernel.Kernel) blt.ULTPolicy {
+	if SchedPolicy == "" {
+		return nil
+	}
+	pol, err := schedpolicy.New(SchedPolicy)
+	if err != nil {
+		panic(fmt.Sprintf("bench: invalid sched policy %q: %v", SchedPolicy, err))
+	}
+	k.SetSchedPolicy(pol)
+	return pol
+}
+
 // RunKernel builds an engine and kernel for machine m, starts body as
 // the initial task, and drives the simulation to completion.
 func RunKernel(m *arch.Machine, body func(k *kernel.Kernel, root *kernel.Task)) error {
 	e := sim.New()
 	k := kernel.New(e, m)
+	applyPolicy(k)
 	finish := instrument(k)
 	root := k.NewTask("bench-root", k.NewAddressSpace(), func(t *kernel.Task) int {
 		body(k, t)

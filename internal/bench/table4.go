@@ -43,8 +43,10 @@ func benchImage(name string, fn loader.MainFunc) *loader.Image {
 func runULP(m *arch.Machine, idle blt.IdlePolicy, setup func(rt *core.Runtime)) error {
 	e := sim.New()
 	k := kernel.New(e, m)
+	cfg := ulpConfig(idle)
+	cfg.SchedPolicy = applyPolicy(k)
 	finish := instrument(k)
-	if _, err := core.Boot(k, ulpConfig(idle), func(rt *core.Runtime) int {
+	if _, err := core.Boot(k, cfg, func(rt *core.Runtime) int {
 		setup(rt)
 		rt.Shutdown()
 		return 0

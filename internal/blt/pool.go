@@ -63,6 +63,10 @@ type Config struct {
 	// CloneFlags used to create original KCs from the creator task.
 	// Defaults to kernel.PiPProcessFlags (ULP: each BLT is a process).
 	CloneFlags kernel.CloneFlags
+	// Policy, when non-nil, customises ready-queue order, steal-victim
+	// order and the idle/yield edges (see ULTPolicy). Nil keeps the
+	// built-in FIFO + round-robin-steal behaviour.
+	Policy ULTPolicy
 }
 
 // trace emits a BLT-protocol event through the trace:log probe point —
@@ -223,6 +227,11 @@ func NewPool(creator *kernel.Task, cfg Config) (*Pool, error) {
 	p := &Pool{kern: creator.Kernel(), creator: creator, cfg: cfg}
 	for i, core := range cfg.ProgCores {
 		s := &Scheduler{pool: p, core: core, index: i}
+		if cfg.Policy != nil {
+			// Preallocated victim-order scratch so a policy steal scan
+			// allocates nothing in steady state.
+			s.stealBuf = make([]int, 0, len(cfg.ProgCores))
+		}
 		if err := s.slot.init(p, creator); err != nil {
 			return nil, err
 		}
@@ -244,6 +253,17 @@ func (p *Pool) Schedulers() []*Scheduler {
 	copy(out, p.scheds)
 	return out
 }
+
+// NumSchedulers reports the scheduler count without copying the list
+// (for policy hot paths).
+func (p *Pool) NumSchedulers() int { return len(p.scheds) }
+
+// SchedulerAt returns scheduler i without copying the list (for policy
+// hot paths).
+func (p *Pool) SchedulerAt(i int) *Scheduler { return p.scheds[i] }
+
+// Policy returns the configured ULT scheduling policy, or nil.
+func (p *Pool) Policy() ULTPolicy { return p.cfg.Policy }
 
 // BLTs returns all spawned BLTs in creation order.
 func (p *Pool) BLTs() []*BLT {

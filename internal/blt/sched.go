@@ -39,6 +39,10 @@ type Scheduler struct {
 	index int  // position in the pool's scheduler list
 	dead  bool // killed by fault injection (sched_kill)
 
+	// stealBuf is the preallocated scratch a ULTPolicy's StealOrder
+	// fills with victim indices (nil without a policy).
+	stealBuf []int
+
 	// Stats.
 	dispatches uint64
 	steals     uint64
@@ -61,6 +65,16 @@ func (s *Scheduler) Task() *kernel.Task { return s.task }
 
 // QueueLen reports the number of ready UCs.
 func (s *Scheduler) QueueLen() int { return s.q.Len() }
+
+// ReadyAt returns the i'th ready UC (0 = FIFO head) without removing it.
+// Scheduler policies inspect the queue through it from PickReady.
+func (s *Scheduler) ReadyAt(i int) *BLT { return s.q.At(i) }
+
+// Index returns the scheduler's position in the pool's scheduler list.
+func (s *Scheduler) Index() int { return s.index }
+
+// Pool returns the owning pool.
+func (s *Scheduler) Pool() *Pool { return s.pool }
 
 // Dispatches reports how many UC switch-ins the scheduler performed.
 func (s *Scheduler) Dispatches() uint64 { return s.dispatches }
@@ -95,11 +109,17 @@ func (s *Scheduler) enqueue(b *BLT, from *kernel.Task) {
 	s.slot.kick(from)
 }
 
-// dequeue pops the local queue head. Charging the queue-lock cost may
-// let a stealing peer drain the queue first, so the emptiness is
-// re-checked after the charge; nil means "lost the race".
+// dequeue pops the next ready UC — the FIFO head, or the policy's
+// PickReady choice. Charging the queue-lock cost may let a stealing peer
+// drain the queue first, so the emptiness is re-checked after the
+// charge; nil means "lost the race".
 func (s *Scheduler) dequeue(t *kernel.Task) *BLT {
 	t.Charge(s.pool.kern.Machine().Costs.RunQueueOp)
+	if pol := s.pool.cfg.Policy; pol != nil && s.q.Len() > 0 {
+		if i := pol.PickReady(s); i > 0 && i < s.q.Len() {
+			return s.q.RemoveAt(i)
+		}
+	}
 	return s.q.Pop()
 }
 
@@ -149,6 +169,9 @@ func (s *Scheduler) acquire(t *kernel.Task) *BLT {
 				return b
 			}
 		}
+		if pol := s.pool.cfg.Policy; pol != nil {
+			pol.OnIdle(s)
+		}
 		s.slot.wait(t, func() bool { return s.q.Len() > 0 || s.pool.stopped || s.stealable() })
 	}
 }
@@ -189,31 +212,54 @@ func (s *Scheduler) stealable() bool {
 // scanning deterministically from the next index (interprocess work
 // stealing over the shared address space: the queues are plain shared
 // data, so a steal is two queue operations plus the peer-lock atomic).
+// A ULTPolicy may reorder the victim scan via StealOrder.
 func (s *Scheduler) steal(t *kernel.Task) *BLT {
-	costs := s.pool.kern.Machine().Costs
 	n := len(s.pool.scheds)
+	if pol := s.pool.cfg.Policy; pol != nil {
+		if order := pol.StealOrder(s, s.stealBuf[:0]); order != nil {
+			s.stealBuf = order // keep grown capacity for the next scan
+			for _, vi := range order {
+				if vi < 0 || vi >= n || vi == s.index {
+					continue
+				}
+				if b := s.stealFrom(t, s.pool.scheds[vi]); b != nil {
+					return b
+				}
+			}
+			return nil
+		}
+	}
 	for i := 1; i < n; i++ {
-		p := s.pool.scheds[(s.index+i)%n]
-		if p.q.Len() == 0 {
-			continue
+		if b := s.stealFrom(t, s.pool.scheds[(s.index+i)%n]); b != nil {
+			return b
 		}
-		t.Charge(costs.AtomicOp + 2*costs.RunQueueOp)
-		if p.q.Len() == 0 {
-			continue // the victim (or another thief) won the race
-		}
-		b := p.q.PopTail()
-		s.steals++
-		ps := s.pool.kern.Probes()
-		if ps.Attached(probe.PSchedSteal) {
-			c := ps.Begin(probe.PSchedSteal, s.pool.kern.Engine().Now())
-			c.Task = t
-			c.Name = b.name
-			c.Val = int64(p.index)
-			ps.Fire(c)
-		}
-		return b
 	}
 	return nil
+}
+
+// stealFrom attempts one steal against victim p: charge the peer-lock
+// atomic plus two queue operations, re-check (the victim or another
+// thief may win the race meanwhile), and take the newest UC.
+func (s *Scheduler) stealFrom(t *kernel.Task, p *Scheduler) *BLT {
+	if p.q.Len() == 0 {
+		return nil
+	}
+	costs := s.pool.kern.Machine().Costs
+	t.Charge(costs.AtomicOp + 2*costs.RunQueueOp)
+	if p.q.Len() == 0 {
+		return nil // the victim (or another thief) won the race
+	}
+	b := p.q.PopTail()
+	s.steals++
+	ps := s.pool.kern.Probes()
+	if ps.Attached(probe.PSchedSteal) {
+		c := ps.Begin(probe.PSchedSteal, s.pool.kern.Engine().Now())
+		c.Task = t
+		c.Name = b.name
+		c.Val = int64(p.index)
+		ps.Fire(c)
+	}
+	return b
 }
 
 // runUC switches the UC in (swap + TLS load under ULP semantics), steps
@@ -271,6 +317,9 @@ func (s *Scheduler) runUC(t *kernel.Task, b *BLT, swapCost sim.Duration) {
 		// otherwise empty the same UC runs again immediately (the
 		// sched_yield-alone analogue at user level).
 		t.Charge(costs.RunQueueOp)
+		if pol := s.pool.cfg.Policy; pol != nil {
+			pol.OnYield(s, b)
+		}
 		s.q.Push(b)
 	case tagCoupling:
 		// Sync point 1 of Table I: publish that the UC context is

@@ -30,6 +30,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/metrics"
 	"repro/internal/probe"
+	"repro/internal/schedpolicy"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 )
@@ -67,6 +68,15 @@ type Config struct {
 	// probe's post-run check failing fails the run like any other
 	// invariant violation.
 	Probes []probe.Spec
+
+	// SchedPolicy, when non-empty, installs the named scheduler policy
+	// (see internal/schedpolicy) on the run's kernel and BLT pool — a
+	// fresh instance per run, so the digest stays a pure function of
+	// (seed, specs, policy). The fifo policy must reproduce the bare
+	// run's digest byte-identically; other policies reorder the
+	// schedule by design and their digests are comparable only among
+	// runs with the same policy.
+	SchedPolicy string
 
 	// Supervise installs the supervision plane: the stall/deadlock
 	// watchdog plus restart budgets for fault-killed KCs and AIO helpers.
@@ -154,6 +164,9 @@ func ReproCommand(cfg Config) string {
 	if len(cfg.Probes) > 0 {
 		s += fmt.Sprintf(" -probe '%s'", probe.SpecsString(cfg.Probes))
 	}
+	if cfg.SchedPolicy != "" {
+		s += fmt.Sprintf(" -sched-policy '%s'", cfg.SchedPolicy)
+	}
 	return s
 }
 
@@ -210,6 +223,15 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 		e.SetChooser(cfg.Chooser)
 	}
 	k := kernel.New(e, cfg.Machine)
+	var ultPol blt.ULTPolicy
+	if cfg.SchedPolicy != "" {
+		pol, err := schedpolicy.New(cfg.SchedPolicy)
+		if err != nil {
+			return Digest{}, nil, err
+		}
+		k.SetSchedPolicy(pol)
+		ultPol = pol
+	}
 	if cfg.Metrics != nil {
 		k.SetMetrics(cfg.Metrics)
 	}
@@ -247,6 +269,7 @@ func RunWithStats(cfg Config) (Digest, []string, error) {
 		Idle:         cfg.Idle,
 		Signals:      cfg.SigMode,
 		Audit:        true, // collect mode: violations recorded, run completes
+		SchedPolicy:  ultPol,
 	}, func(rt *core.Runtime) int {
 		buf := make([]byte, 512)
 		ulps := make([]*core.ULP, 0, cfg.ULPs)

@@ -73,6 +73,11 @@ type Config struct {
 	// work: "Shinjuku supports preemptive scheduling for ULTs").
 	// Computation through Env.Compute is sliced at this granularity.
 	PreemptQuantum sim.Duration
+	// SchedPolicy, when non-nil, is the ULT half of a pluggable
+	// scheduler policy (see blt.ULTPolicy and internal/schedpolicy):
+	// ready-queue order, steal-victim order, idle/yield hooks. The
+	// kernel half is installed separately via Kernel.SetSchedPolicy.
+	SchedPolicy blt.ULTPolicy
 }
 
 // Violation records a system-call issued by a decoupled ULP — i.e. one
@@ -150,6 +155,7 @@ func Boot(k *kernel.Kernel, cfg Config, main func(rt *Runtime) int) (*kernel.Tas
 			WorkStealing:   cfg.WorkStealing,
 			CloneFlags:     kernel.PiPProcessFlags,
 			StartDecoupled: false,
+			Policy:         cfg.SchedPolicy,
 		})
 		if err != nil {
 			return BootFailedExitStatus

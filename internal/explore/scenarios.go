@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/loader"
 	"repro/internal/probe"
+	"repro/internal/schedpolicy"
 	"repro/internal/sim"
 	"repro/internal/supervise"
 	"repro/internal/timeline"
@@ -23,13 +24,41 @@ import (
 // shifts schedules deterministically, so replay commands stay exact.
 var ProbeSpecs []probe.Spec
 
-// newKernel is kernel.New plus the exploration-wide probe attachments.
-// Every scenario builds its kernel through here so -probe covers the
-// whole stock suite.
+// PolicySpec, when non-empty (ulpsim -explore -sched-policy), installs
+// the named scheduler policy on every scenario kernel — a *fresh*
+// instance per run, since policies carry per-run state. Every policy
+// thereby inherits the scenarios' invariant oracles (futex and timeline
+// conservation, syscall consistency, deadlock detection) over every
+// explored schedule. The FIFO policy must additionally leave every
+// decision trace byte-identical to a policy-less run. The spec must
+// parse (the CLI validates before exploring); a bad spec panics here.
+var PolicySpec string
+
+// newKernel is kernel.New plus the exploration-wide probe attachments
+// and the kernel half of the scheduler policy. Every scenario builds
+// its kernel through here so -probe and -sched-policy cover the whole
+// stock suite; BLT scenarios pull the ULT half back off the kernel for
+// their core.Config.
 func newKernel(e *sim.Engine, m *arch.Machine) *kernel.Kernel {
 	k := kernel.New(e, m)
 	probe.AttachSpecs(k.Probes(), ProbeSpecs)
+	if PolicySpec != "" {
+		pol, err := schedpolicy.New(PolicySpec)
+		if err != nil {
+			panic(err)
+		}
+		k.SetSchedPolicy(pol)
+	}
 	return k
+}
+
+// ultPolicy recovers the ULT half of the kernel's installed policy, if
+// it has one (schedpolicy objects implement both halves).
+func ultPolicy(k *kernel.Kernel) blt.ULTPolicy {
+	if pol, ok := k.SchedPolicy().(blt.ULTPolicy); ok {
+		return pol
+	}
+	return nil
 }
 
 // horizon bounds each explored run in virtual time: an adversarial
@@ -297,6 +326,7 @@ func BLT(mk func() *arch.Machine, idle blt.IdlePolicy, mn bool) Scenario {
 				Idle:         idle,
 				Audit:        true,
 				WorkStealing: mn,
+				SchedPolicy:  ultPolicy(k),
 			}, func(rt *core.Runtime) int {
 				// Shutdown unconditionally: an early return that leaves the
 				// pool running strands busy-wait schedulers in a livelock.

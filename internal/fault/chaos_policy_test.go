@@ -1,0 +1,60 @@
+// Chaos-plane coverage for the pluggable scheduler plane. Lives in the
+// external fault_test package for the same import-cycle reason as
+// chaos_test.go.
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/blt"
+	"repro/internal/chaos"
+)
+
+// TestChaosFIFOPolicyDigestByteIdentical pins the fifo identity under
+// fault injection: a chaos run with -sched-policy fifo must produce the
+// exact digest of the bare run, for every machine x idle cell.
+func TestChaosFIFOPolicyDigestByteIdentical(t *testing.T) {
+	for _, m := range arch.Machines() {
+		for _, idle := range []blt.IdlePolicy{blt.BusyWait, blt.Blocking} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				bare, err := chaos.Run(chaos.Config{Machine: m, Seed: seed, Idle: idle})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", m.Name, idle, seed, err)
+				}
+				fifo, err := chaos.Run(chaos.Config{Machine: m, Seed: seed, Idle: idle, SchedPolicy: "fifo"})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d (fifo): %v", m.Name, idle, seed, err)
+				}
+				if !bare.Equal(fifo) {
+					t.Errorf("%s/%s seed %d: fifo digest diverged:\n  bare: %s\n  fifo: %s",
+						m.Name, idle, seed, bare, fifo)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosSchedPoliciesDeterministic runs each non-identity policy
+// under the default fault mix: the protocol verifier must pass and the
+// digest must be a pure function of (seed, policy) — stateful policies
+// parse fresh per run, so reruns may not leak pass/gang state.
+func TestChaosSchedPoliciesDeterministic(t *testing.T) {
+	for _, spec := range []string{"locality", "cosched", "tenant", "tenant:weights=kc.chaos.1:4"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := chaos.Config{Seed: seed, Idle: blt.Blocking, SchedPolicy: spec}
+			d1, err := chaos.Run(cfg)
+			if err != nil {
+				t.Fatalf("policy %s seed %d: %v", spec, seed, err)
+			}
+			d2, err := chaos.Run(cfg)
+			if err != nil {
+				t.Fatalf("policy %s seed %d (rerun): %v", spec, seed, err)
+			}
+			if !d1.Equal(d2) {
+				t.Errorf("policy %s seed %d nondeterministic:\n  run1: %s\n  run2: %s\nrepro: %s",
+					spec, seed, d1, d2, chaos.ReproCommand(cfg))
+			}
+		}
+	}
+}

@@ -68,6 +68,11 @@ type Kernel struct {
 	// wait-for-graph bookkeeping hooks plus resource-limit admission.
 	super Supervisor
 
+	// policy, when set, is the pluggable dispatch plane (see policy.go):
+	// core placement, enqueue position and pick-next order route through
+	// it; nil is the built-in FIFO scheduler.
+	policy SchedPolicy
+
 	// timeline, when set, receives one record per contiguous span a
 	// task occupies a core (see SetTimeline).
 	timeline TimelineRecorder
@@ -303,16 +308,34 @@ func (c *Core) QueueLen() int { return c.runq.Len() }
 // Busy reports the core's cumulative busy time.
 func (c *Core) Busy() sim.Duration { return c.busy }
 
+// Kernel returns the owning kernel (for scheduler policies).
+func (c *Core) Kernel() *Kernel { return c.kernel }
+
+// RunqAt returns the i'th ready task on the core's run queue without
+// removing it (0 = next to dispatch under FIFO). For scheduler policies.
+func (c *Core) RunqAt(i int) *Task { return c.runq.At(i) }
+
+// RunqRemoveAt removes and returns the i'th ready task, preserving the
+// order of the rest. Scheduler policies use it from PickNext; PickNext
+// must return only tasks removed this way.
+func (c *Core) RunqRemoveAt(i int) *Task { return c.runq.RemoveAt(i) }
+
 func (c *Core) push(t *Task) { c.runq.Push(t) }
 
 func (c *Core) pop() *Task { return c.runq.Pop() }
 
 // pickCore selects a core for a waking task: its pinned core if any,
-// otherwise the lowest-numbered idle core, otherwise the core with the
-// shortest queue (ties to the lowest index — fully deterministic).
+// otherwise the installed policy's choice, otherwise the lowest-numbered
+// idle core, otherwise the core with the shortest queue (ties to the
+// lowest index — fully deterministic).
 func (k *Kernel) pickCore(t *Task) *Core {
 	if t.pinned >= 0 {
 		return k.cores[t.pinned]
+	}
+	if k.policy != nil {
+		if c := k.policy.PickCore(k, t); c != nil {
+			return c
+		}
 	}
 	best := k.cores[0]
 	for _, c := range k.cores {

@@ -111,7 +111,7 @@ func (k *Kernel) makeRunnable(t *Task, latency sim.Duration) {
 		return
 	}
 	t.state = TaskReady
-	c.push(t)
+	k.enqueue(c, t)
 }
 
 // dispatch puts t on core c, resuming (or first-starting) its proc after
@@ -125,6 +125,7 @@ func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
 	}
 	c.current = t
 	t.core = c
+	t.lastCore = c.id
 	t.state = TaskRunning
 	if k.tracing() {
 		k.trace("dispatch %s on core %d (+%v)", pidString(t), c.id, latency)
@@ -143,7 +144,7 @@ func (k *Kernel) dispatch(t *Task, c *Core, latency sim.Duration) {
 // scheduleNext fills a newly idle core from its run queue, charging the
 // kernel context-switch cost as dispatch latency.
 func (k *Kernel) scheduleNext(c *Core) {
-	next := c.pop()
+	next := k.pickNext(c)
 	if next == nil {
 		return
 	}
@@ -213,7 +214,14 @@ func (k *Kernel) interrupt(t *Task, latency sim.Duration) bool {
 	if t.state != TaskBlocked || t.blockedOn == nil {
 		return false
 	}
-	t.blockedOn.remove(t)
+	if !t.blockedOn.remove(t) {
+		// A blocked task whose blockedOn queue does not actually hold it
+		// is a state/queue desync: proceeding would double-wake it (once
+		// here, once by whoever really holds it). Failing loudly turns
+		// the desync into a shrinkable explorer trace instead of a
+		// silent conservation violation.
+		panic(fmt.Sprintf("kernel: interrupt of %s: task blocked but not on its blockedOn queue", pidString(t)))
+	}
 	t.wakeReason = WakeInterrupted
 	k.makeRunnable(t, latency)
 	return true
@@ -278,15 +286,21 @@ func (t *Task) SchedYield() {
 		k.sysExit(t, fr)
 		return
 	}
+	// Accounting matches scheduleNext: one kernel switch, credited to the
+	// *incoming* task. (This path used to credit the yielder instead,
+	// which made per-task nCtxSwitches sums disagree with the kernel
+	// total under yield storms.) The queue pop stays after the Charge —
+	// Charge advances virtual time and other events may run meanwhile, so
+	// moving it would change which task sits at the queue head.
 	k.ctxSwitches++
-	t.nCtxSwitches++
-	k.noteSwitch(t)
 	t.Charge(k.machine.Costs.KernelSwitch)
-	next := c.pop()
+	next := k.pickNext(c)
+	next.nCtxSwitches++
+	k.noteSwitch(next)
 	t.state = TaskReady
 	k.noteStop(c, t)
 	t.core = nil
-	c.push(t)
+	k.enqueue(c, t)
 	c.current = nil
 	k.dispatch(next, c, 0)
 	t.proc.Park()
@@ -344,15 +358,29 @@ func (st *sleepTimer) fire() {
 }
 
 // Nanosleep suspends the calling task for the given virtual duration.
-func (t *Task) Nanosleep(d sim.Duration) {
+// Like nanosleep(2), a signal delivered to the task interrupts the
+// sleep: the call returns the unslept remainder and ErrInterrupted
+// (EINTR). A completed sleep returns (0, nil). Callers that sleep
+// uninterruptibly may ignore both results; the pooled timer's late fire
+// finds an empty queue and wakes nobody.
+func (t *Task) Nanosleep(d sim.Duration) (sim.Duration, error) {
 	k := t.kernel
 	fr := k.sysEnter(t, "nanosleep")
 	t.Charge(k.machine.Costs.SyscallEntry)
 	st := k.getSleepTimer()
+	deadline := k.engine.Now().Add(d)
 	k.engine.After(d, st.fn)
 	k.noteWait(t, WaitSleep, 0, nil)
-	k.block(t, &st.q)
+	reason := k.block(t, &st.q)
 	k.sysExit(t, fr)
+	if reason == WakeInterrupted {
+		remaining := deadline.Sub(k.engine.Now())
+		if remaining < 0 {
+			remaining = 0
+		}
+		return remaining, ErrInterrupted
+	}
+	return 0, nil
 }
 
 // Wait implements wait(2): block until some child process exits, reap it

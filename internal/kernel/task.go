@@ -83,6 +83,10 @@ type Task struct {
 	state  TaskState
 	core   *Core // core the task is running on (nil unless Running)
 	pinned int   // pinned core id, -1 for unpinned
+	// lastCore is the core the task most recently ran on (-1 before its
+	// first dispatch); locality-aware scheduler policies prefer it when
+	// the task wakes.
+	lastCore int
 
 	proc *sim.Proc
 	body TaskBody
@@ -143,16 +147,17 @@ func (k *Kernel) NewTask(name string, space *mem.AddressSpace, body TaskBody) *T
 	pid := k.nextPID
 	k.nextPID++
 	t := &Task{
-		kernel: k,
-		name:   name,
-		pid:    pid,
-		tgid:   pid,
-		state:  TaskNew,
-		pinned: -1,
-		body:   body,
-		space:  space,
-		fdt:    NewFDTable(),
-		sig:    NewSignalState(),
+		kernel:   k,
+		name:     name,
+		pid:      pid,
+		tgid:     pid,
+		state:    TaskNew,
+		pinned:   -1,
+		lastCore: -1,
+		body:     body,
+		space:    space,
+		fdt:      NewFDTable(),
+		sig:      NewSignalState(),
 	}
 	if space != nil {
 		space.Attach()
@@ -225,6 +230,15 @@ func (t *Task) CoreID() int {
 	return t.core.id
 }
 
+// LastCore reports the core the task most recently ran on, or -1 before
+// its first dispatch. Unlike Core it stays set while the task is off-CPU;
+// locality-aware scheduler policies read it at wake time.
+func (t *Task) LastCore() int { return t.lastCore }
+
+// CtxSwitches reports how many kernel context switches dispatched this
+// task (the per-task share of Kernel.ContextSwitches).
+func (t *Task) CtxSwitches() uint64 { return t.nCtxSwitches }
+
 // Exited reports whether the task has terminated.
 func (t *Task) Exited() bool { return t.exited }
 
@@ -270,14 +284,15 @@ func (t *Task) ClonePinned(name string, flags CloneFlags, core int, body TaskBod
 		panic(ErrBadCore)
 	}
 	child := &Task{
-		kernel: k,
-		name:   name,
-		pid:    pid,
-		tgid:   pid,
-		parent: t,
-		state:  TaskNew,
-		pinned: core,
-		body:   body,
+		kernel:   k,
+		name:     name,
+		pid:      pid,
+		tgid:     pid,
+		parent:   t,
+		state:    TaskNew,
+		pinned:   core,
+		lastCore: -1,
+		body:     body,
 	}
 	if flags&CloneThread != 0 {
 		child.tgid = t.tgid

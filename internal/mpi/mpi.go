@@ -122,6 +122,9 @@ type Config struct {
 	SyscallCores []int
 	Idle         blt.IdlePolicy
 	WorkStealing bool
+	// SchedPolicy is the ULT half of an installed scheduler policy
+	// (nil = stock FIFO dispatch on every scheduler).
+	SchedPolicy blt.ULTPolicy
 }
 
 // Run boots a ULP-PiP runtime, launches size ranks executing program,
@@ -151,6 +154,7 @@ func Run(k *kernel.Kernel, cfg Config, size int, program Program) (*World, []int
 		ProgCores:    cfg.ProgCores,
 		SyscallCores: cfg.SyscallCores,
 		Idle:         cfg.Idle,
+		SchedPolicy:  cfg.SchedPolicy,
 	}, func(rt *core.Runtime) int {
 		w.rt = rt
 		// Register every rank's match queue before any rank runs: an

@@ -55,6 +55,38 @@ func (q *Q[T]) PopTail() T {
 	return v
 }
 
+// At returns the i'th element from the head (0 = the next Pop) without
+// removing it. Panics when i is out of range — scheduler policies index
+// strictly within [0, Len()).
+func (q *Q[T]) At(i int) T {
+	if i < 0 || i >= q.n {
+		panic("ring: At index out of range")
+	}
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// RemoveAt removes and returns the i'th element from the head, shifting
+// the elements behind it forward one slot (FIFO order among the rest is
+// preserved). O(n−i) moves, no allocation; RemoveAt(0) is Pop. Panics
+// when i is out of range.
+func (q *Q[T]) RemoveAt(i int) T {
+	if i < 0 || i >= q.n {
+		panic("ring: RemoveAt index out of range")
+	}
+	if i == 0 {
+		return q.Pop()
+	}
+	mask := len(q.buf) - 1
+	v := q.buf[(q.head+i)&mask]
+	for j := i; j < q.n-1; j++ {
+		q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+	}
+	var zero T
+	q.buf[(q.head+q.n-1)&mask] = zero
+	q.n--
+	return v
+}
+
 // grow doubles the buffer (minimum 8) and re-bases the elements at
 // index 0 in FIFO order.
 func (q *Q[T]) grow() {

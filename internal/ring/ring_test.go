@@ -70,6 +70,66 @@ func TestPopTail(t *testing.T) {
 	}
 }
 
+// TestAtRemoveAt covers the policy-plane accessors: At is a pure peek,
+// RemoveAt preserves the order of the remaining elements, and both are
+// exercised across a wrapped head.
+func TestAtRemoveAt(t *testing.T) {
+	var q Q[int]
+	// Wrap the head: fill, drain half, refill.
+	for i := 0; i < 8; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	for i := 8; i < 13; i++ {
+		q.Push(i)
+	}
+	want := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	for i, w := range want {
+		if v := q.At(i); v != w {
+			t.Fatalf("At(%d) = %d, want %d", i, v, w)
+		}
+	}
+	if v := q.RemoveAt(3); v != 8 {
+		t.Fatalf("RemoveAt(3) = %d, want 8", v)
+	}
+	if v := q.RemoveAt(0); v != 5 {
+		t.Fatalf("RemoveAt(0) = %d, want 5", v)
+	}
+	rest := []int{6, 7, 9, 10, 11, 12}
+	for i, w := range rest {
+		if v := q.At(i); v != w {
+			t.Fatalf("after removals At(%d) = %d, want %d", i, v, w)
+		}
+	}
+	for _, w := range rest {
+		if v := q.Pop(); v != w {
+			t.Fatalf("Pop = %d, want %d", v, w)
+		}
+	}
+}
+
+// TestRemoveAtClearsSlot pins that the slot vacated by the shift does not
+// retain a pointer.
+func TestRemoveAtClearsSlot(t *testing.T) {
+	var q Q[*int]
+	a, b, c := new(int), new(int), new(int)
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	if got := q.RemoveAt(1); got != b {
+		t.Fatal("RemoveAt returned wrong element")
+	}
+	tail := (q.head + q.n) & (len(q.buf) - 1)
+	if q.buf[tail] != nil {
+		t.Error("RemoveAt left the vacated slot populated")
+	}
+	if q.At(0) != a || q.At(1) != c {
+		t.Error("RemoveAt disturbed surviving elements")
+	}
+}
+
 // TestPopClearsSlot pins that vacated slots do not retain pointers.
 func TestPopClearsSlot(t *testing.T) {
 	var q Q[*int]

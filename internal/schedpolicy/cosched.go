@@ -1,0 +1,76 @@
+package schedpolicy
+
+import (
+	"repro/internal/blt"
+)
+
+// Cosched gang-schedules sibling BLTs: all BLTs sharing one original KC
+// host (an M:N gang — the oversubscribed ranks of the Fig. 6 deployment
+// share hosts exactly this way) run back-to-back on a scheduler before
+// it moves to the next gang. Draining a gang together keeps its shared
+// kernel state (FD table, signal disposition, futex words) hot and
+// minimises couple/decouple interleaving across gangs.
+//
+// Per scheduler the policy keeps a gang *window*: adopting the queue
+// head's gang opens a window whose budget is that gang's queued backlog
+// at adoption time. PickReady prefers the window gang's oldest queued
+// member until the budget drains, then adopts the (new) queue head's
+// gang. The budget is a snapshot: a member that yields *during* the
+// window re-queues behind every other gang's turn rather than extending
+// its own — without this, two single-BLT gangs yield-ping-ponging would
+// let the active gang jump the queue forever and starve its peer (the
+// Table IV yield benchmark is exactly that shape). In N:N mode every
+// BLT is its own gang and the policy degenerates to FIFO.
+type Cosched struct {
+	base
+	active map[*blt.Scheduler]*gangWindow
+}
+
+type gangWindow struct {
+	host   *blt.KCHost
+	budget int
+}
+
+// NewCosched returns a fresh co-scheduling policy (per-run state: the
+// gang window per scheduler).
+func NewCosched() *Cosched {
+	return &Cosched{
+		base:   base{"cosched"},
+		active: make(map[*blt.Scheduler]*gangWindow),
+	}
+}
+
+// PickReady returns the oldest queued member of s's gang window,
+// opening a fresh window off the queue head when the current one has
+// drained its budget or has no ready members.
+func (c *Cosched) PickReady(s *blt.Scheduler) int {
+	w := c.active[s]
+	if w != nil && w.budget > 0 {
+		for i, n := 0, s.QueueLen(); i < n; i++ {
+			if s.ReadyAt(i).Host() == w.host {
+				w.budget--
+				return i
+			}
+		}
+		// Window gang fully blocked or exited: fall through and adopt.
+	}
+	host := s.ReadyAt(0).Host()
+	n := 0
+	for i, ql := 0, s.QueueLen(); i < ql; i++ {
+		if s.ReadyAt(i).Host() == host {
+			n++
+		}
+	}
+	if w == nil {
+		w = &gangWindow{}
+		c.active[s] = w
+	}
+	// The head itself is dispatched right now, so the remaining budget
+	// is the rest of the gang's current backlog.
+	w.host, w.budget = host, n-1
+	return 0
+}
+
+// OnIdle closes the scheduler's gang window: whatever arrives next
+// starts a new one.
+func (c *Cosched) OnIdle(s *blt.Scheduler) { delete(c.active, s) }

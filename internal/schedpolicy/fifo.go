@@ -1,0 +1,13 @@
+package schedpolicy
+
+// FIFO is the identity policy: every hook declines, so the built-in
+// dispatch plane runs exactly as it does with no policy installed —
+// first fully idle core, FIFO run queues, round-robin steal scan. Its
+// whole value is the equivalence proof: a FIFO run must be
+// byte-identical to a bare run on every output (bench tables, chaos
+// digests, explorer decision traces), which CI checks. Any drift means
+// the policy plumbing itself perturbs the schedule.
+type FIFO struct{ base }
+
+// NewFIFO returns the identity policy.
+func NewFIFO() *FIFO { return &FIFO{base{"fifo"}} }

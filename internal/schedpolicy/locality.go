@@ -1,0 +1,67 @@
+package schedpolicy
+
+import (
+	"repro/internal/blt"
+	"repro/internal/kernel"
+)
+
+// Locality prefers cache-warm placement at both levels of the plane:
+//
+//   - Kernel half: a waking unpinned task returns to the core it last
+//     ran on when that core is fully idle (its working set is most
+//     likely still resident there). A busy or backlogged last core
+//     falls back to the built-in shortest-queue choice rather than
+//     queueing behind strangers.
+//   - ULT half: an idle scheduler steals from the *nearest* loaded peer
+//     by core number (a proxy for cache/NUMA distance) instead of the
+//     round-robin scan, so stolen UCs migrate the shortest distance.
+//
+// Both decisions are pure functions of current machine state, so the
+// policy is stateless and deterministic.
+type Locality struct{ base }
+
+// NewLocality returns the locality-aware policy.
+func NewLocality() *Locality { return &Locality{base{"locality"}} }
+
+// PickCore sends the task back to its last core when that core is fully
+// idle; anything else declines to the built-in choice.
+func (Locality) PickCore(k *kernel.Kernel, t *kernel.Task) *kernel.Core {
+	last := t.LastCore()
+	if last < 0 || last >= k.Cores() {
+		return nil
+	}
+	if c := k.Core(last); c.Current() == nil && c.QueueLen() == 0 {
+		return c
+	}
+	return nil
+}
+
+// StealOrder ranks victims by core distance from the thief (ties to the
+// lower scheduler index). The sort is an in-place insertion sort: a
+// pool has a handful of schedulers and the steal path must not allocate.
+func (Locality) StealOrder(s *blt.Scheduler, buf []int) []int {
+	p := s.Pool()
+	me := s.Core()
+	for i, n := 0, p.NumSchedulers(); i < n; i++ {
+		if i != s.Index() {
+			buf = append(buf, i)
+		}
+	}
+	dist := func(i int) int {
+		d := p.SchedulerAt(i).Core() - me
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0; j-- {
+			if d1, d2 := dist(buf[j-1]), dist(buf[j]); d2 < d1 || (d2 == d1 && buf[j] < buf[j-1]) {
+				buf[j-1], buf[j] = buf[j], buf[j-1]
+				continue
+			}
+			break
+		}
+	}
+	return buf
+}
