@@ -51,11 +51,16 @@ const (
 	// The chaos-at-scale suite likewise keeps its own snapshot so the
 	// supervised/faulted rows never churn the base scale baseline.
 	chaosScaleJSONPath = "BENCH_chaos_scale.json"
+	// The contention suite (lock algorithms × contention level × ULT:KC
+	// ratio) is fully virtual and deterministic, but sweeps a different
+	// axis than the paper experiments, so it keeps its own snapshot too.
+	contentionJSONPath = "BENCH_contention.json"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table3|table4|table5|fig7|fig8|ablate-idle|ablate-tls|fig6-scenario|huge-pages|mpi-oversub|all")
 	scale := flag.Bool("scale", false, "run the wait-queue/futex scale suite instead of -exp (see doc comment)")
+	contention := flag.Bool("contention", false, "run the lock-contention sweep instead of -exp (lock algorithm x threads x ULT:KC ratio)")
 	chaosScale := flag.Bool("chaos", false, "with -scale: the chaos-at-scale suite (fault plane + supervision) instead of the base suite")
 	quick := flag.Bool("quick", false, "with -scale: CI-sized workloads instead of the full 100k-task suite")
 	runs := flag.Int("runs", 3, "repetitions per measurement (minimum is reported)")
@@ -114,6 +119,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
 			os.Exit(1)
 		}
+	} else if *contention {
+		if err := runContention(*quick, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "ulpbench:", err)
+			os.Exit(1)
+		}
 	} else if err := run(*exp, *csvPrefix, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "ulpbench:", err)
 		os.Exit(1)
@@ -130,6 +140,9 @@ func main() {
 			if *chaosScale {
 				path = chaosScaleJSONPath
 			}
+		}
+		if *contention {
+			path = contentionJSONPath
 		}
 		if err := bench.WriteRecordsJSON(path, *recs); err != nil {
 			fmt.Fprintln(os.Stderr, "ulpbench:", err)
@@ -173,6 +186,29 @@ func runScale(quick, chaosScale bool, recs *[]bench.Record) error {
 		fmt.Println()
 		if recs != nil {
 			*recs = append(*recs, bench.ScaleRecords(r)...)
+		}
+	}
+	return nil
+}
+
+// runContention drives the lock-contention sweep serially over both
+// machines. Every column is virtual time, so the output (and the JSON
+// snapshot) is byte-deterministic; -quick selects the CI grid, a strict
+// subset of the full grid with identical per-row parameters.
+func runContention(quick bool, recs *[]bench.Record) error {
+	cfg := bench.FullContentionConfig()
+	if quick {
+		cfg = bench.QuickContentionConfig()
+	}
+	for _, m := range arch.Machines() {
+		r, err := bench.Contention(m, cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintContention(os.Stdout, r)
+		fmt.Println()
+		if recs != nil {
+			*recs = append(*recs, bench.ContentionRecords(r)...)
 		}
 	}
 	return nil

@@ -71,7 +71,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "fault plane / chaos / exploration seed")
 		faults       = flag.String("faults", "", "fault specs, e.g. 'futex_lost_wake:prob=0.01;kc_kill:nth=3,task=kc.t2' (in -chaos mode, empty means the default mix)")
 		exploreMode  = flag.Bool("explore", false, "run the schedule explorer instead of the scenario workload")
-		exploreScen  = flag.String("explore-scenario", "pingpong", "exploration scenario: pingpong, blt-nn or blt-mn")
+		exploreScen  = flag.String("explore-scenario", "pingpong", "exploration scenario: "+strings.Join(explore.ScenarioNames(), ", "))
 		explorePol   = flag.String("explore-policy", "random", "exploration policy: random (seeded walks) or dfs (bounded exhaustive)")
 		exploreRuns  = flag.Int("explore-runs", 64, "number of walks (random) or run budget (dfs, 0 = unbounded)")
 		exploreDepth = flag.Int("explore-depth", 4, "dfs decision-depth cap")

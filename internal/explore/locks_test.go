@@ -1,0 +1,72 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	usync "repro/internal/sync"
+)
+
+// TestLockScenariosDFS runs bounded exhaustive DFS over every lock
+// algorithm's scenario: mutual exclusion, the fairness discipline and
+// futex conservation must hold on every enumerated schedule.
+func TestLockScenariosDFS(t *testing.T) {
+	depth := 4
+	if testing.Short() {
+		depth = 3
+	}
+	for _, algo := range usync.Names() {
+		t.Run(algo, func(t *testing.T) {
+			s := LockScenario(arch.Wallaby, algo)
+			res := Explore(s, Config{Policy: DFS, Depth: depth})
+			if res.Failure != nil {
+				t.Fatalf("oracle violation on schedule %v: %s", res.Failure.Trace, res.Failure.Err)
+			}
+			if !res.Complete {
+				t.Errorf("bounded DFS did not exhaust the space")
+			}
+			if res.MaxWidth < 2 {
+				t.Errorf("max branching factor %d — the scenario exposes no decision points", res.MaxWidth)
+			}
+		})
+	}
+}
+
+// TestLockScenariosRandomWalks drives seeded random walks deeper into
+// each lock scenario's schedule space than the DFS prefix cap reaches.
+func TestLockScenariosRandomWalks(t *testing.T) {
+	runs := 6
+	if testing.Short() {
+		runs = 2
+	}
+	for _, algo := range usync.Names() {
+		t.Run(algo, func(t *testing.T) {
+			s := LockScenario(arch.Wallaby, algo)
+			res := Explore(s, Config{Policy: RandomWalk, Runs: runs, Seed: 0x10c5})
+			if res.Failure != nil {
+				t.Fatalf("oracle violation (seed %d, run %d): %s\ntrace: %s",
+					res.Failure.Seed, res.Failure.Run, res.Failure.Err, TraceString(res.Failure.Trace))
+			}
+			if res.Decisions == 0 {
+				t.Errorf("no decision points across all walks")
+			}
+		})
+	}
+}
+
+// TestByNameResolvesLockScenarios pins the registry: every lock-<algo>
+// name resolves and an unknown algorithm is rejected.
+func TestByNameResolvesLockScenarios(t *testing.T) {
+	for _, algo := range usync.Names() {
+		s, err := ByName("lock-"+algo, arch.Wallaby, 0)
+		if err != nil {
+			t.Fatalf("ByName(lock-%s): %v", algo, err)
+		}
+		if s.Name != "lock-"+algo {
+			t.Fatalf("ByName(lock-%s) = %q", algo, s.Name)
+		}
+	}
+	if _, err := ByName("lock-peterson", arch.Wallaby, 0); err == nil {
+		t.Fatalf("ByName(lock-peterson) resolved, want error")
+	}
+}

@@ -85,7 +85,9 @@ func drain(e *sim.Engine, what string) error {
 }
 
 // ScenarioNames lists the scenarios ByName accepts.
-func ScenarioNames() []string { return []string{"pingpong", "blt-nn", "blt-mn", "deadlock"} }
+func ScenarioNames() []string {
+	return append([]string{"pingpong", "blt-nn", "blt-mn", "deadlock"}, lockScenarioNames()...)
+}
 
 // ByName builds the named exploration scenario. mk constructs a fresh
 // machine per run (scenarios must share no state between runs); idle
@@ -100,6 +102,9 @@ func ByName(name string, mk func() *arch.Machine, idle blt.IdlePolicy) (Scenario
 		return BLT(mk, idle, true), nil
 	case "deadlock":
 		return DeadlockScenario(mk), nil
+	}
+	if s, ok := lockByName(name, mk); ok {
+		return s, nil
 	}
 	return Scenario{}, fmt.Errorf("explore: unknown scenario %q (want one of %v)", name, ScenarioNames())
 }

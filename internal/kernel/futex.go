@@ -247,27 +247,10 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	if q := k.futexes.lookup(key); q != nil {
 		for w := q.head; claimed < n && w != nil; {
 			next := w.wqNext
-			if k.probes.Attached(probe.PFaultSite) {
-				c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
-				c.Site = "futex_lost_wake"
-				c.Task = t
-				c.Waiter = w
-				c.Addr = addr
-				if k.probes.Fire(c).Drop {
-					// Lost wakeup: silently drop the wake destined for this
-					// waiter. The waker proceeds believing it woke someone; the
-					// waiter stays asleep until a retry, timeout or later wake.
-					k.fxStats.Lost++
-					k.faultFired(t, "futex_lost_wake", nil, "futex lost wake addr=%#x", addr)
-					claimed++
-					w = next
-					continue
-				}
-			}
-			q.unlink(w)
-			k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
 			claimed++
-			delivered++
+			if k.futexWakeOne(t, q, w, addr) {
+				delivered++
+			}
 			w = next
 		}
 	}
@@ -284,15 +267,50 @@ func (t *Task) FutexWake(addr uint64, n int) int {
 	return claimed
 }
 
+// futexWakeOne claims one wake slot for waiter w, asleep on queue q of
+// the word at addr. It consults the per-waiter futex_lost_wake fault
+// site — a Drop verdict eats the wake (the slot is consumed, the waiter
+// stays queued, the ledger counts a Lost) — and otherwise unlinks the
+// waiter and makes it runnable. It reports whether the wake was
+// delivered. Both FutexWake and FutexRequeue's wake half claim every
+// slot through here, so fault injection and the Claimed/Delivered/Lost
+// ledger see requeue wakes exactly as they see plain wakes.
+func (k *Kernel) futexWakeOne(waker *Task, q *WaitQueue, w *Task, addr uint64) bool {
+	if k.probes.Attached(probe.PFaultSite) {
+		c := k.probes.Begin(probe.PFaultSite, k.engine.Now())
+		c.Site = "futex_lost_wake"
+		c.Task = waker
+		c.Waiter = w
+		c.Addr = addr
+		if k.probes.Fire(c).Drop {
+			// Lost wakeup: silently drop the wake destined for this
+			// waiter. The waker proceeds believing it woke someone; the
+			// waiter stays asleep until a retry, timeout or later wake.
+			k.fxStats.Lost++
+			k.faultFired(waker, "futex_lost_wake", nil, "futex lost wake addr=%#x", addr)
+			return false
+		}
+	}
+	q.unlink(w)
+	k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
+	return true
+}
+
 // FutexRequeue implements futex(FUTEX_CMP_REQUEUE): if the 64-bit word
 // at addr still holds expected, wake up to nWake waiters on addr, then
 // transfer up to nMove of the remaining waiters — in FIFO order, without
 // waking them — onto the wait queue of addr2. It returns the number of
-// waiters woken plus moved. Moved sleepers keep their pending timeout (a
-// timed wait's timer matches on the sleep's waitSeq, not its queue) and
-// are thereafter woken by wakes on addr2; the transfer itself creates
-// addr2's table entry only because actual sleepers arrive on it, so the
-// create-on-wait table discipline is preserved. addr2 must differ from
+// wake slots claimed plus waiters moved; as with FutexWake, a claimed
+// slot whose wake the futex_lost_wake site ate still counts (the caller
+// is deceived exactly as a real lost wakeup would deceive it), and the
+// doomed waiter stays on addr, eligible for the move half. Moved
+// sleepers keep their pending timeout (a timed wait's timer matches on
+// the sleep's waitSeq, not its queue) and are thereafter woken by wakes
+// on addr2; the transfer itself creates addr2's table entry only because
+// actual sleepers arrive on it, so the create-on-wait table discipline
+// is preserved. Each move is gated by the supervisor's waiters-per-word
+// admission against the destination queue — sleepers the cap rejects
+// simply stay on addr, as with a partial requeue. addr2 must differ from
 // addr (EINVAL, as in Linux).
 func (t *Task) FutexRequeue(addr, expected uint64, nWake, nMove int, addr2 uint64) (int, error) {
 	k := t.kernel
@@ -311,38 +329,66 @@ func (t *Task) FutexRequeue(addr, expected uint64, nWake, nMove int, addr2 uint6
 		k.sysExit(t, fr)
 		return 0, ErrFutexAgain
 	}
-	woken, moved := 0, 0
+	claimed, delivered, moved := 0, 0, 0
 	if q := k.futexes.lookup(futexKey{t.space.ID, addr}); q != nil {
-		for woken < nWake {
-			w := q.pop()
-			if w == nil {
-				break
+		for w := q.head; claimed < nWake && w != nil; {
+			next := w.wqNext
+			claimed++
+			if k.futexWakeOne(t, q, w, addr) {
+				delivered++
 			}
-			k.makeRunnable(w, k.machine.Costs.FutexWakeLatency)
-			woken++
+			w = next
 		}
 		if nMove > 0 && q.Len() > 0 {
-			q2 := k.futexes.queue(futexKey{t.space.ID, addr2})
+			key2 := futexKey{t.space.ID, addr2}
+			// Admission runs against a non-creating lookup and the entry is
+			// created only once a sleeper is actually admitted: a rejected
+			// move must not leave an empty queue populating the table.
+			waiters2 := 0
+			if q0 := k.futexes.lookup(key2); q0 != nil {
+				waiters2 = q0.Len()
+			}
+			var q2 *WaitQueue
 			for moved < nMove {
 				w := q.head
 				if w == nil {
 					break
 				}
+				if k.super != nil {
+					if k.super.AdmitFutexWait(w, waiters2) != nil {
+						// Destination word is at its waiters-per-word cap.
+						// Later sleepers would see the same full queue, so
+						// the excess stays on addr — a partial requeue.
+						break
+					}
+				}
+				if q2 == nil {
+					q2 = k.futexes.queue(key2)
+				}
 				q.unlink(w)
 				q2.push(w)
 				w.blockedOn = q2
+				if k.super != nil {
+					// The sleeper now waits on addr2: refresh the wait
+					// annotation and tell the supervision plane, so the
+					// wait-for graph's futex edges follow the move instead
+					// of resolving the old word forever.
+					w.waitAddr = addr2
+					k.super.OnFutexRequeue(w, addr2)
+				}
+				waiters2++
 				moved++
 			}
 		}
 	}
-	k.fxStats.Claimed += uint64(woken)
-	k.fxStats.Delivered += uint64(woken)
+	k.fxStats.Claimed += uint64(claimed)
+	k.fxStats.Delivered += uint64(delivered)
 	k.fxStats.Requeued += uint64(moved)
 	if k.probes.Attached(probe.PFutexWoken) {
 		c := k.probes.Begin(probe.PFutexWoken, k.engine.Now())
 		c.Task = t
 		c.Addr = addr
-		c.Val = int64(woken)
+		c.Val = int64(delivered)
 		k.probes.Fire(c)
 	}
 	if k.probes.Attached(probe.PFutexRequeue) {
@@ -353,7 +399,7 @@ func (t *Task) FutexRequeue(addr, expected uint64, nWake, nMove int, addr2 uint6
 		k.probes.Fire(c)
 	}
 	k.sysExit(t, fr)
-	return woken + moved, nil
+	return claimed + moved, nil
 }
 
 // FutexWaiters reports how many tasks sleep on the given word (for tests

@@ -80,6 +80,11 @@ type Supervisor interface {
 	// OnTimerFired fires when a timed futex wait's timer expires
 	// (whether or not the sleep is still live), balancing AdmitTimer.
 	OnTimerFired(t *Task)
+	// OnFutexRequeue fires when FutexRequeue transfers the still-blocked
+	// sleeper t onto the wait queue of addr, after the task's wait
+	// annotation has been updated — the plane must refresh its wait
+	// record so futex edges in the wait-for graph follow the move.
+	OnFutexRequeue(t *Task, addr uint64)
 	// AdmitThread gates TryClone: non-nil (ErrThreadLimit) rejects.
 	AdmitThread(parent *Task) error
 	// AdmitFD gates Open: non-nil (ErrFDLimit) rejects.

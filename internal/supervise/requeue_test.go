@@ -1,0 +1,173 @@
+package supervise
+
+// Regression tests for FutexRequeue's supervision integration: the
+// wait-for graph must follow a requeued sleeper to its new word, and
+// the waiters-per-word rlimit must gate the move onto the destination
+// queue. Before the fixes the transfer only updated blockedOn — the
+// watchdog kept resolving futex edges through the old address, and a
+// requeue could stuff arbitrarily many sleepers onto a capped word.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestDeadlockDetectedAcrossRequeue forms the ABBA futex cycle *through
+// a requeue*: task A first parks on a neutral word (a leaf — the word
+// holds 0), and only a FUTEX_CMP_REQUEUE moves it onto the word holding
+// B's PID while B already sleeps on the word holding A's PID. The
+// watchdog must record the two-task cycle; before the fix A's wait
+// record still named the neutral word, the futex edge resolved to a
+// leaf, and the cycle went unreported.
+func TestDeadlockDetectedAcrossRequeue(t *testing.T) {
+	e, k := newKernel(t)
+	p := New(k, Config{
+		Tick:         100 * sim.Microsecond,
+		StallHorizon: 200 * sim.Microsecond,
+	})
+	p.Install()
+	space := k.NewAddressSpace()
+	mmap := func(name string) uint64 {
+		addr, err := space.Mmap(8, mem.ProtRead|mem.ProtWrite, name, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return addr
+	}
+	gate := mmap("gate")   // neutral word A parks on first; holds 0 forever
+	wordA := mmap("wordA") // will hold A's PID; B sleeps here
+	wordB := mmap("wordB") // will hold B's PID; A is requeued here
+	var aPID, bPID int
+	moved := -1
+	root := k.NewTask("rq-root", space, func(task *Task) int {
+		a := task.Clone("rq-a", kernel.PThreadFlags, func(c *Task) int {
+			for {
+				switch c.FutexWait(gate, 0) {
+				case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted:
+				default:
+					return 1
+				}
+			}
+		})
+		aPID = a.PID()
+		space.WriteU64(wordA, uint64(aPID), nil)
+		task.Nanosleep(10 * sim.Microsecond) // A parked on the gate
+		b := task.Clone("rq-b", kernel.PThreadFlags, func(c *Task) int {
+			for {
+				// wordA holds A's PID and A never "unlocks".
+				switch c.FutexWait(wordA, uint64(aPID)) {
+				case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted:
+				default:
+					return 1
+				}
+			}
+		})
+		bPID = b.PID()
+		space.WriteU64(wordB, uint64(bPID), nil)
+		task.Nanosleep(10 * sim.Microsecond) // B parked on wordA
+		// Close the cycle by transfer, not by a fresh wait: A moves from
+		// the leaf gate onto wordB (held by B) without waking.
+		n, err := task.FutexRequeue(gate, 0, 0, 1, wordB)
+		if err != nil {
+			return 1
+		}
+		moved = n
+		return 0
+	})
+	k.Start(root, 0)
+	err := e.Run()
+	if !errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("engine: %v, want ErrDeadlock (A and B park forever)", err)
+	}
+	if moved != 1 {
+		t.Fatalf("FutexRequeue moved %d, want 1", moved)
+	}
+	found := false
+	for _, d := range p.Deadlocks() {
+		if len(d.PIDs) == 2 {
+			pids := map[int]bool{d.PIDs[0]: true, d.PIDs[1]: true}
+			if pids[aPID] && pids[bPID] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("watchdog recorded no A<->B cycle across the requeue (deadlocks: %v) — wait record kept the old word?", p.Deadlocks())
+	}
+}
+
+// TestRequeueEnforcesFutexWaiterLimit caps waiters-per-word at 3 and
+// requeues three sleepers onto a word that already holds two: only one
+// may move (2 resident + 1 moved = cap), the excess must stay on the
+// source word like a partial requeue, and the rejection must count as a
+// FutexWaiters limit hit. Before the fix all three moved and the hit
+// counter stayed at zero.
+func TestRequeueEnforcesFutexWaiterLimit(t *testing.T) {
+	e, k := newKernel(t)
+	p := New(k, Config{
+		Tick:   -1, // limits only
+		Limits: Limits{MaxFutexWaiters: 3},
+	})
+	p.Install()
+	space := k.NewAddressSpace()
+	a, err := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "src", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := space.Mmap(8, mem.ProtRead|mem.ProtWrite, "dst", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, srcLeft, dstAfter := -1, -1, -1
+	root := k.NewTask("lim-root", space, func(task *Task) int {
+		sleep := func(word uint64) func(*Task) int {
+			return func(c *Task) int {
+				if err := c.FutexWait(word, 0); err != nil {
+					return 1
+				}
+				return 0
+			}
+		}
+		for i := 0; i < 3; i++ {
+			task.Clone("src-sleeper", kernel.PThreadFlags, sleep(a))
+			task.Nanosleep(2 * sim.Microsecond) // pin FIFO order
+		}
+		task.Clone("dst-sleeper", kernel.PThreadFlags, sleep(b))
+		task.Clone("dst-sleeper2", kernel.PThreadFlags, sleep(b))
+		task.Nanosleep(10 * sim.Microsecond) // all five parked
+		n, err := task.FutexRequeue(a, 0, 0, 3, b)
+		if err != nil {
+			return 1
+		}
+		moved = n
+		srcLeft = k.FutexWaiters(space.ID, a)
+		dstAfter = k.FutexWaiters(space.ID, b)
+		task.FutexWake(a, 8) // drain the excess
+		task.FutexWake(b, 8)
+		return 0
+	})
+	k.Start(root, 0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if moved != 1 {
+		t.Errorf("FutexRequeue moved %d sleepers onto the capped word, want 1", moved)
+	}
+	if srcLeft != 2 || dstAfter != 3 {
+		t.Errorf("post-requeue waiters src=%d dst=%d, want 2/3 (excess stays on the source)", srcLeft, dstAfter)
+	}
+	if hits := p.LimitHits(); hits.FutexWaiters != 1 {
+		t.Errorf("FutexWaiters limit hits = %d, want 1 (one rejected move ends the transfer)", hits.FutexWaiters)
+	}
+	st := k.FutexStats()
+	if st.Requeued != 1 {
+		t.Errorf("ledger requeued=%d, want 1", st.Requeued)
+	}
+	if n := k.ResidualFutexWaiters(); n != 0 {
+		t.Errorf("%d residual futex waiters", n)
+	}
+}

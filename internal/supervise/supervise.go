@@ -295,6 +295,16 @@ func (p *Plane) OnTimerFired(t *kernel.Task) {
 	}
 }
 
+// OnFutexRequeue implements kernel.Supervisor: a requeued sleeper now
+// waits on the destination word, so its wait-graph record must name it —
+// otherwise the watchdog keeps resolving the futex edge through the old
+// word and a deadlock formed across the requeue goes undetected.
+func (p *Plane) OnFutexRequeue(t *kernel.Task, addr uint64) {
+	if rec, _ := t.SupervisionTag().(*waitRec); rec != nil {
+		rec.addr = addr
+	}
+}
+
 // AdmitThread implements kernel.Supervisor.
 func (p *Plane) AdmitThread(parent *kernel.Task) error {
 	if p.kids == nil || p.kids[parent] < p.cfg.Limits.MaxThreads {

@@ -1,0 +1,210 @@
+package sync
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Recovery backoff for futex sleeps when the lost-wake fault site is
+// armed: a wake aimed at us may be eaten, so the sleep is re-armed with
+// a doubling timeout (latency under fault, never lost liveness) —
+// the same discipline the BLT idle slot uses.
+const (
+	lostWakeBase = 20 * sim.Microsecond
+	lostWakeMax  = 2 * sim.Millisecond
+)
+
+// Mutex is the futex-backed adaptive mutex (the glibc style): an
+// atomic fast path, a bounded TTAS spin for the adaptive phase, then a
+// kernel sleep on the lock word. Word states: 0 free, 1 held, 2 held
+// with possible sleepers — unlock wakes one sleeper only from state 2,
+// and every contended acquisition re-marks the word 2 so a sleeper
+// chain drains one wake per unlock.
+type Mutex struct {
+	lockBase
+	word64 uint64
+}
+
+func newMutex(b lockBase) (Lock, error) {
+	l := &Mutex{lockBase: b}
+	var err error
+	if l.word64, err = b.word("word"); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NewMutex builds the adaptive mutex directly (Cond needs the concrete
+// type; New("futex") returns the same implementation as a Lock).
+func NewMutex(creator *kernel.Task, cfg Config) (*Mutex, error) {
+	b, err := newBase(creator, "futex", cfg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := newMutex(b)
+	if err != nil {
+		return nil, err
+	}
+	return l.(*Mutex), nil
+}
+
+func (l *Mutex) Lock(t *kernel.Task) {
+	start := l.now()
+	l.noteArrive(t)
+	if l.cas(t, l.word64, 0, 1) {
+		l.noteAcquire(t, start, false)
+		return
+	}
+	// Adaptive phase: spin for the configured budget hoping the holder
+	// is mid-critical-section on another core, then give up and sleep.
+	for i := 0; i < l.cfg.Spins; i++ {
+		if l.poll(t, l.word64) == 0 && l.cas(t, l.word64, 0, 1) {
+			l.noteAcquire(t, start, true)
+			return
+		}
+	}
+	attempts := 0
+	for {
+		// Announce (possible) sleepers: acquire only by swapping in 2, so
+		// our own unlock passes the wake on to the next sleeper.
+		if l.swap(t, l.word64, 2) == 0 {
+			l.noteAcquire(t, start, true)
+			return
+		}
+		l.futexSleep(t, &attempts)
+	}
+}
+
+// futexSleep parks on the lock word while it reads "contended". Every
+// return is treated as a (possibly spurious) wake — the caller re-runs
+// the swap loop, which is correct under spurious wakes, EINTR, timeouts
+// and lost-wake recovery alike. An admission rejection (rlimit on
+// waiters or timers) degrades to a yield, keeping progress.
+func (l *Mutex) futexSleep(t *kernel.Task, attempts *int) {
+	var err error
+	if l.k.FaultArmed(t, "futex_lost_wake") {
+		d := lostWakeBase << uint(*attempts)
+		if d > lostWakeMax {
+			d = lostWakeMax
+		}
+		err = t.FutexWaitTimeout(l.word64, 2, d)
+		if err == kernel.ErrTimedOut {
+			*attempts++
+		} else {
+			*attempts = 0
+		}
+	} else {
+		err = t.FutexWait(l.word64, 2)
+	}
+	switch err {
+	case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut:
+	case kernel.ErrFutexWaiterLimit, kernel.ErrTimerLimit:
+		t.SchedYield()
+	default:
+		panic(fmt.Sprintf("sync: futex mutex sleep: %v", err))
+	}
+}
+
+// lockContended acquires the mutex only through the announced-sleepers
+// state: swap in 2, park while held. A waiter woken (or requeued) off a
+// condvar MUST reacquire this way — a fast-path cas(0→1) would leave
+// the word in state 1, and that unlock would never pass the wake on to
+// the other sleepers still parked on the mutex word.
+func (l *Mutex) lockContended(t *kernel.Task) {
+	start := l.now()
+	l.noteArrive(t)
+	attempts := 0
+	for l.swap(t, l.word64, 2) != 0 {
+		l.futexSleep(t, &attempts)
+	}
+	l.noteAcquire(t, start, true)
+}
+
+func (l *Mutex) Unlock(t *kernel.Task) {
+	switch l.swap(t, l.word64, 0) {
+	case 1:
+		// No sleepers announced: nothing to wake.
+	case 2:
+		t.FutexWake(l.word64, 1)
+	default:
+		panic("sync: unlock of unlocked futex mutex")
+	}
+}
+
+// Cond is a condition variable over an adaptive Mutex, with the
+// classic futex sequence-word protocol: Wait snapshots the sequence
+// under the mutex and sleeps while it is unchanged; Signal bumps it and
+// wakes one waiter; Broadcast bumps it, wakes ONE waiter and transfers
+// the rest onto the mutex word via FUTEX_CMP_REQUEUE — they wake one
+// per unlock as the mutex hands off, instead of stampeding for it all
+// at once.
+type Cond struct {
+	m   *Mutex
+	seq uint64
+}
+
+// NewCond builds a condition variable bound to m (Wait/Broadcast must
+// be called with m held).
+func NewCond(creator *kernel.Task, m *Mutex) (*Cond, error) {
+	seq, err := m.word("condseq")
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{m: m, seq: seq}, nil
+}
+
+// Wait atomically releases the mutex and sleeps until a Signal or
+// Broadcast (or a spurious wake — callers must re-check their predicate
+// in a loop, as with POSIX condvars), then reacquires the mutex.
+func (c *Cond) Wait(t *kernel.Task) {
+	l := c.m
+	t.Charge(l.costs.AtomicOp)
+	v := l.load(c.seq)
+	l.Unlock(t)
+	var err error
+	if l.k.FaultArmed(t, "futex_lost_wake") {
+		// The wake (or the requeue's eventual mutex wake) may be eaten:
+		// bound the sleep and treat a timeout as a spurious wake. The
+		// timer survives a requeue by design, so even a sleeper moved to
+		// the mutex word gets its recovery timeout.
+		err = t.FutexWaitTimeout(c.seq, v, lostWakeMax)
+	} else {
+		err = t.FutexWait(c.seq, v)
+	}
+	switch err {
+	case nil, kernel.ErrFutexAgain, kernel.ErrInterrupted, kernel.ErrTimedOut,
+		kernel.ErrFutexWaiterLimit, kernel.ErrTimerLimit:
+	default:
+		panic(fmt.Sprintf("sync: cond wait: %v", err))
+	}
+	l.lockContended(t)
+}
+
+// Signal wakes one waiter. May be called with or without the mutex.
+func (c *Cond) Signal(t *kernel.Task) {
+	c.m.fetchAdd(t, c.seq, 1)
+	t.FutexWake(c.seq, 1)
+}
+
+// Broadcast wakes every waiter, requeueing all but one onto the mutex
+// word. Must be called with the mutex held: the requeue marks the word
+// contended (state 2) so each subsequent unlock wakes exactly one moved
+// sleeper — the herd serializes through the mutex handoff rather than
+// thundering.
+func (c *Cond) Broadcast(t *kernel.Task) {
+	l := c.m
+	l.fetchAdd(t, c.seq, 1)
+	t.Charge(l.costs.AtomicOp)
+	nv := l.load(c.seq)
+	// Holder-owned store: sleepers are about to appear on the mutex
+	// word, and only an unlock that observes 2 passes the wake on.
+	l.storeRaw(l.word64, 2)
+	if _, err := t.FutexRequeue(c.seq, nv, 1, 1<<30, l.word64); err != nil {
+		// A racing Signal bumped the sequence between our add and the
+		// requeue's recheck: every waiter is already waking; make sure
+		// none is left behind.
+		t.FutexWake(c.seq, 1<<30)
+	}
+}

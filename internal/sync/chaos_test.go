@@ -1,0 +1,65 @@
+package sync_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/chaos"
+	usync "repro/internal/sync"
+)
+
+// TestChaosDigestDeterminism runs every lock algorithm under the
+// futex-heavy chaos mix on both machines and requires (a) the run
+// passes its built-in invariants (liveness, exact counter, claim
+// conservation) and (b) a repeat with the same seed yields a
+// bit-identical digest.
+func TestChaosDigestDeterminism(t *testing.T) {
+	seeds := []uint64{1, 0xdecade}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, m := range arch.Machines() {
+		for _, name := range usync.Names() {
+			for _, seed := range seeds {
+				cfg := chaos.LockConfig{Machine: m, Lock: name, Seed: seed}
+				d1, err := chaos.RunLock(cfg)
+				if err != nil {
+					t.Errorf("%s/%s seed=%d: %v", m.Name, name, seed, err)
+					continue
+				}
+				d2, err := chaos.RunLock(cfg)
+				if err != nil {
+					t.Errorf("%s/%s seed=%d (repeat): %v", m.Name, name, seed, err)
+					continue
+				}
+				if !d1.Equal(d2) {
+					t.Errorf("%s/%s seed=%d: digest diverged:\n  run1: %s\n  run2: %s",
+						m.Name, name, seed, d1, d2)
+				}
+				if d1.Injections == 0 {
+					t.Logf("%s/%s seed=%d: no faults fired (still a valid determinism check)", m.Name, name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveChaosDigestDeterminism is the CI smoke target: the
+// futex-backed adaptive mutex (the only algorithm whose slow path
+// parks in the kernel) across several seeds, digests pinned.
+func TestAdaptiveChaosDigestDeterminism(t *testing.T) {
+	for _, seed := range []uint64{7, 21, 1<<40 + 5} {
+		cfg := chaos.LockConfig{Lock: "futex", Seed: seed, Tasks: 8, Ops: 30}
+		d1, err := chaos.RunLock(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		d2, err := chaos.RunLock(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d (repeat): %v", seed, err)
+		}
+		if !d1.Equal(d2) {
+			t.Fatalf("seed=%d: digest diverged:\n  run1: %s\n  run2: %s", seed, d1, d2)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package sync
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Fairness records a lock's handoff history: the order in which tasks
+// reached the algorithm's queueing point (ticket draw, queue-tail swap,
+// first acquisition attempt) and the order in which they acquired the
+// lock. The explorer's fairness oracle replays the two sequences
+// against each other — for FIFO algorithms the handoff order must equal
+// the queueing order exactly; for the unfair algorithms every waiter's
+// bypass count must stay within a bound, so no waiter is passed over
+// unboundedly.
+//
+// Recording is append-only from inside the simulation (deterministic:
+// tasks interleave only at virtual-time advances) and costs two slice
+// appends per acquisition; a lock without a recorder pays a nil check.
+type Fairness struct {
+	arrivals []int // PIDs in queueing-point order
+	acquires []int // PIDs in acquisition order
+}
+
+func (f *Fairness) arrive(t *kernel.Task)  { f.arrivals = append(f.arrivals, t.PID()) }
+func (f *Fairness) acquire(t *kernel.Task) { f.acquires = append(f.acquires, t.PID()) }
+
+// Acquisitions reports how many acquisitions were recorded.
+func (f *Fairness) Acquisitions() int { return len(f.acquires) }
+
+// Load replaces the history with a synthetic one (oracle self-tests).
+func (f *Fairness) Load(arrivals, acquires []int) {
+	f.arrivals = append(f.arrivals[:0], arrivals...)
+	f.acquires = append(f.acquires[:0], acquires...)
+}
+
+// Reset clears the history (between explorer runs reusing a recorder).
+func (f *Fairness) Reset() {
+	f.arrivals, f.acquires = f.arrivals[:0], f.acquires[:0]
+}
+
+// Check verifies the starvation discipline. Each acquisition is matched
+// to the acquiring task's earliest unmatched arrival; at that moment it
+// "passes over" every still-pending waiter that arrived earlier. With
+// fifo set, zero passes are tolerated (handoff order pinned to queueing
+// order); otherwise each waiter may be passed at most maxBypass times.
+// Every recorded arrival must eventually acquire — a pending arrival
+// left at the end is starvation outright.
+func (f *Fairness) Check(fifo bool, maxBypass int) error {
+	if fifo {
+		maxBypass = 0
+	}
+	type pend struct {
+		idx    int // arrival sequence number
+		pid    int
+		passed int
+	}
+	var pending []pend
+	next := 0 // next arrival not yet considered pending
+	for ai, pid := range f.acquires {
+		// Arrivals happen strictly before their acquisition, so pull in
+		// every arrival recorded up to this acquisition's position...
+		// but the two sequences share no global index. Since each
+		// arrive() precedes its own acquire(), it is sufficient to pull
+		// arrivals until this PID has an unmatched one.
+		match := -1
+		for i, p := range pending {
+			if p.pid == pid {
+				match = i
+				break
+			}
+		}
+		for match < 0 && next < len(f.arrivals) {
+			pending = append(pending, pend{idx: next, pid: f.arrivals[next]})
+			if f.arrivals[next] == pid {
+				match = len(pending) - 1
+			}
+			next++
+		}
+		if match < 0 {
+			return fmt.Errorf("sync: fairness: acquisition %d by pid %d has no recorded arrival", ai, pid)
+		}
+		got := pending[match]
+		for i := range pending[:match] {
+			pending[i].passed++
+			if pending[i].passed > maxBypass {
+				if fifo {
+					return fmt.Errorf("sync: fairness: FIFO handoff violated: pid %d (arrival %d) acquired before pid %d (arrival %d)",
+						pid, got.idx, pending[i].pid, pending[i].idx)
+				}
+				return fmt.Errorf("sync: fairness: pid %d (arrival %d) passed over %d times (> %d) — starvation",
+					pending[i].pid, pending[i].idx, pending[i].passed, maxBypass)
+			}
+		}
+		pending = append(pending[:match], pending[match+1:]...)
+	}
+	if len(pending) > 0 {
+		return fmt.Errorf("sync: fairness: %d waiters arrived but never acquired (first: pid %d)", len(pending), pending[0].pid)
+	}
+	return nil
+}
